@@ -1,0 +1,56 @@
+"""ART search-cost scaling: the O(d log n) vs O(n) claim, measured.
+
+Figure 4(c) asserts the asymptotics; this bench sweeps set size n at
+fixed difference d and reports nodes visited (ART) vs elements scanned
+(Bloom) — the machine-independent cost measures.
+"""
+
+import random
+
+from repro.art import ApproximateReconciliationTree, ExactTreeSummary
+from repro.art.search import find_difference
+from repro.art.tree import ReconciliationTrie
+
+
+def _pair(n, d, seed):
+    rng = random.Random(seed)
+    common = rng.sample(range(1 << 40), n)
+    extra = rng.sample(range(1 << 41, 1 << 42), d)
+    return common, common[d:] + extra
+
+
+def test_art_search_scaling(benchmark):
+    d = 50
+    sizes = (2_000, 8_000, 32_000)
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            set_a, set_b = _pair(n, d, seed=n)
+            trie_a = ReconciliationTrie(set_a, seed=1)
+            trie_b = ReconciliationTrie(set_b, seed=1)
+            stats = find_difference(trie_b, ExactTreeSummary(trie_a), correction=0)
+            rows.append((n, stats.nodes_visited, n))  # bloom scans all n
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n== ART search scaling at fixed d={d} ==")
+    print(f"{'n':>8s} {'ART nodes visited':>18s} {'Bloom scans':>12s}")
+    for n, visited, scans in rows:
+        print(f"{n:8d} {visited:18d} {scans:12d}")
+    # 16x growth in n should grow ART visits far less than 16x
+    # (O(d log n): expect ~1.4x from the log factor).
+    first, last = rows[0], rows[-1]
+    n_growth = last[0] / first[0]
+    visit_growth = last[1] / first[1]
+    print(f"n grew {n_growth:.0f}x; ART visits grew {visit_growth:.1f}x")
+    assert visit_growth < n_growth / 3
+
+
+def test_art_build_throughput(benchmark):
+    keys = random.Random(7).sample(range(1 << 40), 10_000)
+
+    def build():
+        return ApproximateReconciliationTree(keys, bits_per_element=8, seed=3)
+
+    benchmark.pedantic(build, rounds=2, iterations=1)

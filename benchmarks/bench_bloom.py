@@ -1,0 +1,54 @@
+"""Section 5.2 Bloom filter numbers: FP table + throughput.
+
+Paper: 4 bits/elt + 3 hashes -> 14.7% FP; 8 bits/elt + 5 hashes -> 2.2%;
+10,000 packets summarised in five 1KB packets at 4 bits/elt.
+"""
+
+import random
+
+import pytest
+
+from repro.filters import BloomFilter, false_positive_rate
+
+
+@pytest.mark.parametrize(
+    "bits,k,expected",
+    [(4, 3, 0.147), (8, 5, 0.022)],
+)
+def test_false_positive_table(benchmark, bits, k, expected):
+    rng = random.Random(bits)
+    keys = rng.sample(range(1 << 40), 10_000)
+    probes = rng.sample(range(1 << 41, 1 << 42), 30_000)
+
+    def measure():
+        bf = BloomFilter.for_elements(keys, bits_per_element=bits, k_hashes=k)
+        fp = sum(1 for p in probes if p in bf) / len(probes)
+        return bf, fp
+
+    bf, fp = benchmark.pedantic(measure, rounds=1, iterations=1)
+    analytic = false_positive_rate(bf.m, len(keys), k)
+    print(
+        f"\n{bits} bits/elt, k={k}: measured FP {fp:.4f}, analytic "
+        f"{analytic:.4f}, paper {expected:.3f}, size {bf.size_bytes()} bytes"
+    )
+    assert abs(fp - expected) < 0.02
+    assert abs(analytic - expected) < 0.002
+
+
+def test_build_throughput(benchmark):
+    keys = list(range(10_000))
+
+    def build():
+        return BloomFilter.for_elements(keys, bits_per_element=8, k_hashes=5)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_query_throughput(benchmark):
+    bf = BloomFilter.for_elements(range(10_000), bits_per_element=8, k_hashes=5)
+    probes = list(range(5_000, 15_000))
+
+    def scan():
+        return sum(1 for p in probes if p in bf)
+
+    benchmark.pedantic(scan, rounds=3, iterations=1)

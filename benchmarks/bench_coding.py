@@ -1,0 +1,86 @@
+"""Section 6.1 coding parameters + degree-distribution ablation.
+
+Paper: "The degree distribution used had an average degree of 11 for the
+encoded symbols and average decoding overhead of 6.8%."  The ablation
+compares the heavy-tail heuristic against ideal/robust soliton, the
+DESIGN.md design-choice bench.
+"""
+
+import pytest
+
+from repro.coding import DegreeDistribution, LTEncoder, PeelingDecoder
+from repro.experiments import run_coding_stats
+
+
+def test_coding_parameters_match_paper(benchmark):
+    stats = benchmark.pedantic(
+        run_coding_stats,
+        kwargs=dict(num_blocks=4_000, trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n== Section 6.1 coding parameters (l={stats.num_blocks}) ==\n"
+        f"average degree   {stats.average_degree:.2f}   (paper: 11)\n"
+        f"decode overhead  {stats.decoding_overhead:.3f} ± {stats.overhead_std:.3f} "
+        f"  (paper: 0.068 at 24k blocks)"
+    )
+    assert 8 <= stats.average_degree <= 13
+    assert stats.decoding_overhead < 0.15
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["heavy-tail", "robust-soliton", "ideal-soliton"],
+)
+def test_distribution_ablation(benchmark, name):
+    l = 1_000
+    dist = {
+        "heavy-tail": DegreeDistribution.heavy_tail_heuristic(l),
+        "robust-soliton": DegreeDistribution.robust_soliton(l),
+        "ideal-soliton": DegreeDistribution.ideal_soliton(l),
+    }[name]
+    stats = benchmark.pedantic(
+        run_coding_stats,
+        kwargs=dict(num_blocks=l, trials=3, distribution=dist),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n{name}: avg degree {stats.average_degree:.2f}, "
+        f"overhead {stats.decoding_overhead:.3f} ± {stats.overhead_std:.3f}"
+    )
+
+
+def test_encode_throughput(benchmark):
+    """Symbols/second for paper-geometry (1400-byte) payload encoding."""
+    import random
+
+    rng = random.Random(1)
+    content = bytes(rng.randrange(256) for _ in range(512 * 1400))
+    enc = LTEncoder.from_content(content, 1400, stream_seed=1)
+    counter = iter(range(10**9))
+
+    def encode_one():
+        return enc.symbol(next(counter))
+
+    benchmark(encode_one)
+
+
+def test_decode_throughput(benchmark):
+    """Full-file decode (peel + payload XOR) at paper block size."""
+    import random
+
+    rng = random.Random(2)
+    content = bytes(rng.randrange(256) for _ in range(256 * 1400))
+    enc = LTEncoder.from_content(content, 1400, stream_seed=2)
+    symbols = enc.symbols(range(int(256 * 1.15)))
+
+    def decode_all():
+        dec = PeelingDecoder(enc.num_blocks)
+        dec.add_symbols(symbols)
+        dec.solve_remaining()
+        assert dec.is_complete
+        return dec
+
+    benchmark.pedantic(decode_all, rounds=2, iterations=1)

@@ -1,0 +1,36 @@
+"""Figure 4(a): ART accuracy vs leaf/internal bit split, correction 0-5.
+
+Paper series: fraction of differences found vs bits per element in the
+leaf Bloom filter, total budget fixed at 8 bits per element, one curve
+per correction level.
+"""
+
+from repro.experiments import run_fig4a
+
+
+def test_fig4a_accuracy_tradeoff(benchmark):
+    points = benchmark.pedantic(
+        run_fig4a,
+        kwargs=dict(
+            set_size=5_000,
+            differences=100,
+            total_bits=8,
+            leaf_bit_choices=(1, 2, 3, 4, 5, 6, 7),
+            corrections=(0, 1, 2, 3, 4, 5),
+            trials=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Figure 4(a): accuracy at 8 bits/element ==")
+    print("leaf_bits  " + "  ".join(f"corr={c}" for c in range(6)))
+    for leaf in (1, 2, 3, 4, 5, 6, 7):
+        row = [p for p in points if p.leaf_bits == leaf]
+        row.sort(key=lambda p: p.correction)
+        print(f"{leaf:9d}  " + "  ".join(f"{p.accuracy:6.3f}" for p in row))
+    # Shape assertions: correction monotone at each split.
+    for leaf in (1, 4, 7):
+        col = sorted(
+            (p for p in points if p.leaf_bits == leaf), key=lambda p: p.correction
+        )
+        assert col[-1].accuracy >= col[0].accuracy

@@ -1,0 +1,45 @@
+"""Figure 4(b): ART accuracy table, bits/element x correction level.
+
+Paper's table at n=10,000 / d=100 with the optimal leaf/interior split:
+
+    Correction   2      4      6      8    (bits per element)
+    0          0.0000 0.0087 0.0997 0.2540
+    ...
+    5          0.2677 0.6165 0.8239 0.9234
+"""
+
+from repro.experiments import run_fig4b
+
+PAPER_TABLE = {
+    (0, 8): 0.2540,
+    (3, 8): 0.8679,
+    (5, 8): 0.9234,
+    (5, 2): 0.2677,
+    (0, 2): 0.0000,
+}
+
+
+def test_fig4b_accuracy_table(benchmark):
+    table = benchmark.pedantic(
+        run_fig4b,
+        kwargs=dict(
+            set_size=5_000,
+            differences=100,
+            bits_choices=(2, 4, 6, 8),
+            corrections=(0, 1, 2, 3, 4, 5),
+            trials=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Figure 4(b): ART accuracy (ours vs paper) ==")
+    print("corr  " + "  ".join(f"{b}bits" for b in (2, 4, 6, 8)))
+    for c in range(6):
+        print(f"{c:4d}  " + "  ".join(f"{table[(c, b)]:.3f}" for b in (2, 4, 6, 8)))
+    print("paper reference cells:", PAPER_TABLE)
+    # Shape: monotone in both axes, and the well-measured cells land in
+    # the paper's neighbourhood.
+    assert table[(5, 8)] >= table[(0, 8)]
+    assert table[(5, 8)] >= table[(5, 2)]
+    assert abs(table[(5, 8)] - PAPER_TABLE[(5, 8)]) < 0.15
+    assert abs(table[(3, 8)] - PAPER_TABLE[(3, 8)]) < 0.15

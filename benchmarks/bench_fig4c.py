@@ -1,0 +1,28 @@
+"""Figure 4(c): Bloom filter vs ART at 8 bits/element.
+
+Paper's table: BF 8n bits / 98% / O(n); ART (correction 5) 8n bits /
+92% / O(d log n).
+"""
+
+from repro.experiments import run_fig4c
+
+
+def test_fig4c_structure_comparison(benchmark):
+    rows = benchmark.pedantic(
+        run_fig4c,
+        kwargs=dict(set_size=10_000, differences=100, trials=2),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Figure 4(c): structure comparison at 8 bits/element ==")
+    print(f"{'structure':28s} {'accuracy':>8s} {'search s':>10s} {'asymptotic':>12s}")
+    for r in rows:
+        print(
+            f"{r.name:28s} {r.accuracy:8.3f} {r.search_seconds:10.5f} "
+            f"{r.asymptotic:>12s}"
+        )
+    bf, art = rows
+    # Paper: BF ~98%, ART ~92% at 8 bits/elt.
+    assert bf.accuracy > 0.94
+    assert 0.75 <= art.accuracy <= 1.0
+    assert bf.accuracy >= art.accuracy

@@ -1,0 +1,51 @@
+"""Figure 5: overhead of peer-to-peer transfers vs correlation.
+
+Paper shape (compact, 1.1n): Random worst and growing with correlation;
+Random/BF flat but coupon-limited; Recode/BF best with low flat
+overhead; Recode degrades at high correlation, Recode/MW about half as
+fast.  Stretched (1.5n): Random much better; oblivious recoding much
+worse (recodes over too large a domain).
+"""
+
+import math
+
+from repro.experiments import run_fig5
+from repro.experiments.fig5678 import series_by_strategy
+
+
+def _print(points, scenario):
+    print(f"\n== Figure 5 ({scenario}) overhead vs correlation ==")
+    series = series_by_strategy(points, scenario)
+    corrs = sorted({round(p.correlation, 3) for p in points if p.scenario == scenario})
+    print("corr      " + "  ".join(f"{c:6.3f}" for c in corrs))
+    for name, pts in series.items():
+        vals = "  ".join(
+            f"{p.value:6.2f}" if not math.isnan(p.value) else "   nan" for p in pts
+        )
+        print(f"{name:9s} " + vals)
+
+
+def test_fig5_overhead_curves(benchmark):
+    points = benchmark.pedantic(
+        run_fig5,
+        kwargs=dict(target=1_000, trials=3, correlation_points=5),
+        rounds=1,
+        iterations=1,
+    )
+    _print(points, "compact")
+    _print(points, "stretched")
+
+    compact = series_by_strategy(points, "compact")
+    stretched = series_by_strategy(points, "stretched")
+    # Compact: Random grows with correlation and is the worst at the top.
+    rand = compact["Random"]
+    assert rand[-1].value > rand[0].value
+    assert rand[-1].value == max(s[-1].value for s in compact.values())
+    # Compact: Recode/BF lowest at high correlation.
+    assert compact["Recode/BF"][-1].value == min(
+        s[-1].value for s in compact.values()
+    )
+    # Stretched: Random much better; oblivious recoding worse than Random.
+    assert stretched["Random"][0].value < compact["Random"][0].value
+    assert stretched["Recode"][0].value > stretched["Random"][0].value
+    assert stretched["Recode/MW"][0].value > stretched["Random"][0].value

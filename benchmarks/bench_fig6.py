@@ -1,0 +1,45 @@
+"""Figure 6: speedup when a partial sender supplements a full sender.
+
+Paper shape: BF-assisted strategies near the 2x ideal; plain random
+selection also performs well (the full sender keeps the system out of
+the compact regime); oblivious recoding (none/minwise) performs poorly
+because it recodes over too large a domain.
+"""
+
+import math
+
+from repro.experiments import run_fig6
+from repro.experiments.fig5678 import series_by_strategy
+
+
+def test_fig6_speedup_curves(benchmark):
+    points = benchmark.pedantic(
+        run_fig6,
+        kwargs=dict(target=1_000, trials=3, correlation_points=4),
+        rounds=1,
+        iterations=1,
+    )
+    for scenario in ("compact", "stretched"):
+        series = series_by_strategy(points, scenario)
+        print(f"\n== Figure 6 ({scenario}) speedup vs correlation ==")
+        for name, pts in series.items():
+            vals = "  ".join(
+                f"{p.value:5.2f}" if not math.isnan(p.value) else "  nan"
+                for p in pts
+            )
+            print(f"{name:9s} {vals}")
+
+    for scenario in ("compact", "stretched"):
+        series = series_by_strategy(points, scenario)
+        mean = lambda name: sum(p.value for p in series[name]) / len(series[name])
+        # BF strategies beat their oblivious counterparts (paper Section 6.3).
+        assert mean("Random/BF") >= mean("Recode") - 0.05
+        assert mean("Recode/BF") > mean("Recode")
+        assert mean("Recode/BF") > mean("Recode/MW")
+        # Random selection performs well here.
+        assert mean("Random") > 1.3
+        # Speedups bounded by the two-sender ideal.
+        for pts in series.values():
+            for p in pts:
+                if not math.isnan(p.value):
+                    assert p.value <= 2.1

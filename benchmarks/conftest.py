@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows/series it reports, so `pytest benchmarks/ --benchmark-only -s`
+doubles as the experiment log behind EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def print_series(title, rows):
+    """Uniform figure-series printer used by the delivery benches."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print(row)

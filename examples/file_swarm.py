@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Prototype protocol demo: a real-bytes swarm with verified decode.
+
+Models the paper's prototype: one origin holding a file, a handful of
+leechers exchanging *actual payloads* over in-memory sessions using the
+full informed pipeline — 1KB min-wise handshakes, Bloom summaries,
+recoded data packets with constituent lists in headers — and every
+leecher byte-verifies its reconstruction at the end.
+
+Run:  python examples/file_swarm.py
+"""
+
+import random
+import sys
+
+from repro.protocol import CodeParameters, ProtocolPeer, TransferSession
+
+FILE_BYTES = 64 * 1400  # 64 blocks of the paper's 1400-byte payloads
+NUM_LEECHERS = 4
+
+
+def main():
+    rng = random.Random(31)
+    content = bytes(rng.randrange(256) for _ in range(FILE_BYTES))
+    params = CodeParameters(num_blocks=64, block_size=1400, stream_seed=5)
+    print(f"file: {len(content)} bytes in {params.num_blocks} blocks of "
+          f"{params.block_size}B; recovery target {params.recovery_target} symbols\n")
+
+    origin = ProtocolPeer("origin", params, content=content, rng=random.Random(1))
+    leechers = [
+        ProtocolPeer(f"leech{i}", params, rng=random.Random(10 + i))
+        for i in range(NUM_LEECHERS)
+    ]
+
+    # Phase 1: the origin seeds each leecher with a partial, staggered
+    # slice — later arrivals get less (Section 2.1's asynchrony).
+    print("phase 1: origin seeds partial content")
+    seed_sessions = []
+    for i, leech in enumerate(leechers):
+        session = TransferSession(origin, leech, rng=random.Random(20 + i))
+        assert session.handshake()
+        fraction = 0.7 - 0.15 * i
+        for _ in range(int(fraction * params.recovery_target)):
+            session.send_one()
+        seed_sessions.append(session)
+        print(f"  {leech.peer_id}: {len(leech.working_set)} symbols "
+              f"({fraction:.0%} seeded), decoded={leech.has_decoded}")
+
+    # Phase 2: origin goes away; leechers finish from each other.
+    print("\nphase 2: origin departs, leechers collaborate")
+    total_control = sum(s.stats.control_bytes for s in seed_sessions)
+    total_data = sum(s.stats.data_bytes for s in seed_sessions)
+    round_robin = 0
+    sessions = {}
+    while not all(l.has_decoded for l in leechers):
+        progressed = False
+        for receiver in leechers:
+            if receiver.has_decoded:
+                continue
+            sender = leechers[round_robin % NUM_LEECHERS]
+            round_robin += 1
+            if sender is receiver or len(sender.working_set) == 0:
+                continue
+            key = (sender.peer_id, receiver.peer_id)
+            if key not in sessions:
+                session = TransferSession(sender, receiver,
+                                          rng=random.Random(hash(key) % 10_000))
+                if not session.handshake():
+                    sessions[key] = None
+                    continue
+                sessions[key] = session
+            session = sessions[key]
+            if session is None:
+                continue
+            before = len(receiver.working_set)
+            for _ in range(8):  # a small burst per turn
+                session.send_one()
+            if len(receiver.working_set) > before:
+                progressed = True
+            if len(receiver.working_set) >= params.recovery_target:
+                receiver.try_finalize_decode()
+        if not progressed:
+            # Peers have drained each other; one origin top-up round.
+            for receiver in leechers:
+                if receiver.has_decoded:
+                    continue
+                top_up = TransferSession(origin, receiver,
+                                         rng=random.Random(99))
+                top_up.handshake()
+                while not receiver.has_decoded:
+                    top_up.send_one()
+                    if len(receiver.working_set) >= params.recovery_target:
+                        receiver.try_finalize_decode()
+                total_control += top_up.stats.control_bytes
+                total_data += top_up.stats.data_bytes
+            break
+
+    for s in sessions.values():
+        if s is not None:
+            total_control += s.stats.control_bytes
+            total_data += s.stats.data_bytes
+
+    print("\nresults:")
+    all_ok = True
+    for leech in leechers:
+        ok = (leech.has_decoded
+              and leech.decoded_content(len(content)) == content)
+        all_ok &= ok
+        print(f"  {leech.peer_id}: decoded={leech.has_decoded}, "
+              f"bytes verified={'✓' if ok else '✗'}")
+    ctrl_frac = total_control / (total_control + total_data)
+    print(f"\nwire totals: {total_data} data bytes, {total_control} control "
+          f"bytes ({ctrl_frac:.2%} control overhead)")
+    if not all_ok:
+        print("VERIFICATION FAILED")
+        return 1
+    print("every leecher reconstructed the exact file bytes ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

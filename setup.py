@@ -1,0 +1,9 @@
+"""Setup shim for offline environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this legacy
+path; normal environments can use plain `pip install -e .`.
+"""
+
+from setuptools import setup
+
+setup()

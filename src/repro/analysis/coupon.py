@@ -1,0 +1,75 @@
+"""Coupon-collector closed forms for the Random strategy.
+
+Section 6.3: "the random selection strategy ... is precisely
+characterized by the well known Coupon Collector's problem.  When exactly
+n symbols are present in the system, random selection requires O(log n)
+symbols on average to recover each useful symbol."
+
+The generalisation used here: a sender holds ``N`` symbols of which ``U``
+are useful to the receiver, and picks uniformly with replacement (the
+stateless selection of Section 6.2).  The expected transmissions until
+``k <= U`` distinct useful symbols arrive is ``N * (H_U - H_{U-k})``.
+"""
+
+import math
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n`` (exact for small n, asymptotic above).
+
+    Uses the Euler-Maclaurin expansion beyond 256 terms — error < 1e-10,
+    far below simulation noise.
+    """
+    if n < 0:
+        raise ValueError("harmonic numbers are defined for n >= 0")
+    if n == 0:
+        return 0.0
+    if n <= 256:
+        return math.fsum(1.0 / i for i in range(1, n + 1))
+    euler_gamma = 0.5772156649015329
+    return (
+        math.log(n)
+        + euler_gamma
+        + 1.0 / (2 * n)
+        - 1.0 / (12 * n * n)
+        + 1.0 / (120 * n**4)
+    )
+
+
+def expected_draws_to_collect(pool_size: int, useful: int, needed: int) -> float:
+    """Expected uniform-with-replacement draws to collect ``needed`` useful.
+
+    Args:
+        pool_size: ``N``, the sender's working-set size.
+        useful: ``U``, how many of those the receiver lacks.
+        needed: distinct useful symbols required (``<= useful``).
+    """
+    if pool_size < 1:
+        raise ValueError("pool must be non-empty")
+    if not 0 <= useful <= pool_size:
+        raise ValueError("useful count must lie in [0, pool_size]")
+    if needed > useful:
+        raise ValueError(
+            f"cannot collect {needed} distinct useful symbols from {useful}"
+        )
+    if needed <= 0:
+        return 0.0
+    return pool_size * (harmonic(useful) - harmonic(useful - needed))
+
+
+def expected_random_strategy_overhead(
+    sender_size: int, correlation: float, needed: int
+) -> float:
+    """Predicted Figure 5 Random-strategy overhead at a given correlation.
+
+    With correlation ``c``, the sender's useful fraction is ``1 - c``:
+    ``U = round((1-c) * N)``.  Overhead is expected packets divided by
+    ``needed`` (the baseline in which every packet is useful).
+    """
+    if not 0.0 <= correlation < 1.0:
+        raise ValueError("correlation must lie in [0, 1)")
+    useful = round((1.0 - correlation) * sender_size)
+    needed = min(needed, useful)
+    if needed <= 0:
+        return float("inf")
+    return expected_draws_to_collect(sender_size, useful, needed) / needed

@@ -1,0 +1,37 @@
+"""Sparse parity-check erasure codes and recoding (paper Section 5.4).
+
+The digital-fountain substrate everything else rides on:
+
+* :class:`DegreeDistribution` — ideal/robust soliton and the paper's
+  heavy-tail heuristic (Section 6.1: average degree ~11, decoding
+  overhead ~7%), plus the bounded recoding distribution of Section 5.4.2.
+* :class:`EncodedSymbol` / :class:`RecodedSymbol` — symbols and their
+  composition metadata (source-block lists / constituent-symbol lists).
+* :class:`LTEncoder` — memoryless encoder: symbol ``i``'s neighbour set is
+  a pure function of ``(seed, i)``, so independently seeded fountains are
+  uncorrelated (the paper's *additivity*) while a shared seed gives all
+  peers a common symbol universe keyed by ``symbol_id``.
+* :class:`PeelingDecoder` — the substitution-rule decoder of [16].
+* :class:`Recoder` / :class:`RecodedPeeler` — Section 5.4.2: partial
+  senders blend received symbols into recoded symbols; receivers peel
+  recoded symbols back to encoded symbols, then decode normally.
+"""
+
+from repro.coding.degree import DegreeDistribution
+from repro.coding.symbol import EncodedSymbol, RecodedSymbol, xor_payloads
+from repro.coding.encoder import LTEncoder
+from repro.coding.decoder import PeelingDecoder
+from repro.coding.recode import Recoder, optimal_recode_degree
+from repro.coding.peeler import RecodedPeeler
+
+__all__ = [
+    "DegreeDistribution",
+    "EncodedSymbol",
+    "RecodedSymbol",
+    "xor_payloads",
+    "LTEncoder",
+    "PeelingDecoder",
+    "Recoder",
+    "RecodedPeeler",
+    "optimal_recode_degree",
+]

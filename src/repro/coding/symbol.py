@@ -1,0 +1,102 @@
+"""Symbol types for encoded and recoded content.
+
+Section 5.4.2: "An encoded symbol must specify the source blocks from
+which it was generated; a recoded symbol must enumerate the encoded
+symbols from which it was produced."  Both kinds carry that specification
+explicitly, plus an optional byte payload — the delivery simulator runs
+identity-only (payload ``None``) for speed, while the prototype protocol
+ships real bytes.
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+
+def xor_payloads(payloads: Iterable[bytes]) -> bytes:
+    """XOR equal-length byte strings together.
+
+    Uses big-int XOR, which CPython executes in C — fast enough to encode
+    the paper's 1400-byte blocks at tens of MB/s without numpy.
+    """
+    acc: Optional[int] = None
+    length = -1
+    for p in payloads:
+        if acc is None:
+            acc = int.from_bytes(p, "little")
+            length = len(p)
+        else:
+            if len(p) != length:
+                raise ValueError(
+                    f"payload length mismatch: {len(p)} != {length}; "
+                    "all blocks in a code must be fixed-length"
+                )
+            acc ^= int.from_bytes(p, "little")
+    if acc is None:
+        raise ValueError("cannot XOR zero payloads")
+    return acc.to_bytes(length, "little")
+
+
+@dataclass(frozen=True)
+class EncodedSymbol:
+    """One output symbol of the fountain code.
+
+    Attributes:
+        symbol_id: position in the (conceptually unbounded) encoding
+            stream; doubles as the working-set key used by sketches,
+            Bloom filters, and ARTs.
+        source_indices: the source blocks XOR-ed to form the payload.
+        payload: the XOR of those blocks, or ``None`` in identity-only
+            simulations.
+    """
+
+    symbol_id: int
+    source_indices: FrozenSet[int]
+    payload: Optional[bytes] = None
+
+    @property
+    def degree(self) -> int:
+        """Number of source blocks blended in (encode cost ∝ degree)."""
+        return len(self.source_indices)
+
+    def header_bytes(self, id_bits: int = 64) -> int:
+        """Wire overhead of the composition metadata.
+
+        Section 6.1 uses 64-bit degree-sequence representations; we model
+        the header as the symbol id (seed for the neighbour PRNG) rather
+        than an explicit index list, matching practical fountain codecs.
+        """
+        return id_bits // 8
+
+    def __post_init__(self):
+        if not self.source_indices:
+            raise ValueError("an encoded symbol must cover >= 1 source block")
+        if self.symbol_id < 0:
+            raise ValueError("symbol ids are non-negative")
+
+
+@dataclass(frozen=True)
+class RecodedSymbol:
+    """XOR of encoded symbols produced by a partial sender (§5.4.2).
+
+    Attributes:
+        constituent_ids: ids of the encoded symbols blended together;
+            the receiver needs this list for the substitution rule.
+        payload: XOR of the constituent payloads (``None`` in identity
+            simulations).
+    """
+
+    constituent_ids: FrozenSet[int]
+    payload: Optional[bytes] = None
+
+    @property
+    def degree(self) -> int:
+        """Number of constituent encoded symbols."""
+        return len(self.constituent_ids)
+
+    def header_bytes(self, id_bits: int = 64) -> int:
+        """Wire overhead: the constituent id list must travel explicitly."""
+        return (id_bits // 8) * self.degree
+
+    def __post_init__(self):
+        if not self.constituent_ids:
+            raise ValueError("a recoded symbol must cover >= 1 encoded symbol")

@@ -1,0 +1,173 @@
+"""Sketch-driven sender selection and load balancing.
+
+Section 4 closes with the protocol uses of calling cards beyond pairwise
+estimation: a receiver comparing candidate senders can (a) reject those
+whose content is identical to its own, (b) *combine* sketches — the
+coordinate-wise minimum is the sketch of the union — to judge what a
+*group* of senders jointly offers, and (c) "distribute the load among
+the senders whose content is identical, as shown by the comparison of
+the summaries submitted by all the sender candidates."
+
+This module implements those three decisions as a greedy max-coverage
+selection over min-wise sketches, entirely from calling cards — no
+working sets cross the wire.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sketches import MinwiseSketch
+
+#: Resemblance above which two candidates are treated as holding the
+#: same content (sketch noise tolerance).
+IDENTICAL_THRESHOLD = 0.95
+
+
+@dataclass
+class CandidateSender:
+    """One prospective sender, known only through its calling card."""
+
+    peer_id: str
+    sketch: MinwiseSketch
+    set_size: int
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a greedy sender selection."""
+
+    chosen: List[str] = field(default_factory=list)
+    rejected_identical: List[str] = field(default_factory=list)
+    estimated_coverage: float = 0.0  # estimated |receiver ∪ chosen|
+    estimated_gains: Dict[str, float] = field(default_factory=dict)
+
+
+def estimated_union_size(
+    sketch_a: MinwiseSketch, size_a: float, sketch_b: MinwiseSketch, size_b: float
+) -> float:
+    """``|A ∪ B|`` from two sketches and their set sizes.
+
+    From ``r = |A ∩ B| / |A ∪ B|`` and ``|A| + |B| = |A ∪ B| + |A ∩ B|``:
+    ``|A ∪ B| = (|A| + |B|) / (1 + r)``.
+    """
+    r = sketch_a.estimate_resemblance(sketch_b)
+    return (size_a + size_b) / (1.0 + r)
+
+
+def select_senders(
+    receiver_sketch: MinwiseSketch,
+    receiver_size: int,
+    candidates: Sequence[CandidateSender],
+    max_senders: int,
+    min_gain: float = 1.0,
+) -> SelectionResult:
+    """Greedy max-coverage choice of up to ``max_senders`` senders.
+
+    At each step the candidate whose union with the accumulated coverage
+    sketch adds the most estimated symbols is chosen; candidates whose
+    estimated gain over the *receiver alone* is negligible are rejected
+    as identical-content peers (the paper's admission control).
+
+    Args:
+        receiver_sketch: the receiver's own calling card.
+        receiver_size: the receiver's working-set size.
+        candidates: prospective senders' calling cards.
+        max_senders: connection slots available.
+        min_gain: minimum estimated new symbols for a pick to count.
+    """
+    if max_senders < 0:
+        raise ValueError("max_senders must be non-negative")
+    result = SelectionResult()
+    coverage_sketch = receiver_sketch
+    coverage_size = float(receiver_size)
+    remaining = list(candidates)
+
+    # Pre-screen: identical-to-receiver candidates are rejected outright.
+    screened = []
+    for cand in remaining:
+        r = receiver_sketch.estimate_resemblance(cand.sketch)
+        if r >= IDENTICAL_THRESHOLD and cand.set_size <= receiver_size:
+            result.rejected_identical.append(cand.peer_id)
+        else:
+            screened.append(cand)
+    remaining = screened
+
+    while remaining and len(result.chosen) < max_senders:
+        best: Optional[Tuple[float, CandidateSender]] = None
+        for cand in remaining:
+            union = estimated_union_size(
+                coverage_sketch, coverage_size, cand.sketch, cand.set_size
+            )
+            gain = union - coverage_size
+            if best is None or gain > best[0]:
+                best = (gain, cand)
+        assert best is not None
+        gain, cand = best
+        if gain < min_gain:
+            break  # nobody left offers anything new
+        result.chosen.append(cand.peer_id)
+        result.estimated_gains[cand.peer_id] = gain
+        coverage_size += gain
+        coverage_sketch = coverage_sketch.union(cand.sketch)
+        remaining = [c for c in remaining if c.peer_id != cand.peer_id]
+
+    result.estimated_coverage = coverage_size
+    return result
+
+
+def group_identical_senders(
+    candidates: Sequence[CandidateSender],
+    threshold: float = IDENTICAL_THRESHOLD,
+) -> List[List[str]]:
+    """Cluster candidates whose calling cards say they hold the same set.
+
+    Single-link grouping over pairwise resemblance — adequate because
+    "identical" is transitive up to sketch noise.  Used to spread load:
+    one stream's worth of demand can be split across a whole group.
+    """
+    groups: List[List[CandidateSender]] = []
+    for cand in candidates:
+        placed = False
+        for group in groups:
+            rep = group[0]
+            if rep.sketch.estimate_resemblance(cand.sketch) >= threshold:
+                group.append(cand)
+                placed = True
+                break
+        if not placed:
+            groups.append([cand])
+    return [[c.peer_id for c in group] for group in groups]
+
+
+def split_demand(
+    symbols_desired: int,
+    groups: Sequence[Sequence[str]],
+    rng: Optional[random.Random] = None,
+) -> Dict[str, int]:
+    """Allocate a symbol demand across sender groups, balancing inside each.
+
+    Demand is divided evenly across groups (each group offers distinct
+    content), then evenly across a group's members (identical content —
+    any member can serve any share).  Remainders go to randomly chosen
+    members so repeated splits do not always load the same peer.
+    """
+    if symbols_desired < 0:
+        raise ValueError("demand must be non-negative")
+    if not groups:
+        return {}
+    rng = rng or random.Random()
+    allocation: Dict[str, int] = {}
+    base_group = symbols_desired // len(groups)
+    extra_groups = symbols_desired % len(groups)
+    group_order = list(range(len(groups)))
+    rng.shuffle(group_order)
+    for rank, gi in enumerate(group_order):
+        members = list(groups[gi])
+        demand = base_group + (1 if rank < extra_groups else 0)
+        base_member = demand // len(members)
+        extra_members = demand % len(members)
+        rng.shuffle(members)
+        for mrank, member in enumerate(members):
+            allocation[member] = base_member + (1 if mrank < extra_members else 0)
+    return allocation

@@ -1,0 +1,77 @@
+"""Receiver state for delivery simulations.
+
+Tracks distinct encoded symbols held, peels recoded arrivals through
+:class:`~repro.coding.peeler.RecodedPeeler`, and reports completion
+against a target count that already includes decoding overhead
+(Section 6.1 simulates "a constant decoding overhead of 7%").
+"""
+
+from typing import Iterable, List
+
+from repro.coding.peeler import RecodedPeeler
+from repro.coding.symbol import RecodedSymbol
+from repro.delivery.packets import Packet
+
+#: The paper's simplifying assumption (Section 6.1).
+DEFAULT_DECODING_OVERHEAD = 0.07
+
+
+class SimReceiver:
+    """A downloading peer: working set + recoded-symbol peeler + target.
+
+    Args:
+        initial_ids: encoded-symbol ids held at transfer start.
+        target: distinct encoded symbols needed to recover the file
+            (decoding overhead included by the caller).
+
+    Attributes:
+        packets_received: total packets consumed.
+        useless_packets: packets that contributed no new symbol
+            immediately (pending recodes count until they resolve).
+    """
+
+    def __init__(self, initial_ids: Iterable[int], target: int):
+        if target < 1:
+            raise ValueError("target must be positive")
+        self._peeler = RecodedPeeler(known_ids=initial_ids)
+        self.target = target
+        self.packets_received = 0
+        self.useless_packets = 0
+
+    # -- status -----------------------------------------------------------
+
+    @property
+    def known_count(self) -> int:
+        """Distinct encoded symbols currently held."""
+        return len(self._peeler.known_ids)
+
+    @property
+    def known_ids(self):
+        return self._peeler.known_ids
+
+    @property
+    def is_complete(self) -> bool:
+        """True once enough distinct symbols are held to decode."""
+        return self.known_count >= self.target
+
+    @property
+    def pending_recoded(self) -> int:
+        """Recoded symbols buffered but not yet reducible."""
+        return self._peeler.pending_count
+
+    # -- ingest --------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> List[int]:
+        """Consume one packet; returns encoded ids newly recovered."""
+        self.packets_received += 1
+        if packet.is_recoded:
+            assert packet.recoded_ids is not None
+            recovered = self._peeler.add_recoded(
+                RecodedSymbol(packet.recoded_ids)
+            )
+        else:
+            assert packet.encoded_id is not None
+            recovered = self._peeler.add_encoded(packet.encoded_id)
+        if not recovered:
+            self.useless_packets += 1
+        return recovered

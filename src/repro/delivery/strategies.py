@@ -1,0 +1,249 @@
+"""The five sender strategies compared in Section 6.2.
+
+All strategies are *stateless per packet* — the sender never remembers
+what it already sent on a connection.  That is deliberate: Section 2.2
+argues per-connection state is what kills scalability, and Section 6.1
+notes summaries are never updated during a transfer ("we never send
+updates to our Bloom filter").  Statelessness is also what makes Random
+selection a coupon-collector process in compact scenarios.
+
+Strategies:
+
+* ``Random`` — pick an available symbol uniformly (Swarmcast-style).
+* ``Random/BF`` — pick uniformly among symbols *not* in the receiver's
+  Bloom filter (guaranteed-useful modulo nothing: no false usefulness,
+  only FP-hidden symbols are lost).
+* ``Recode`` — recoded symbols over the whole working set, oblivious.
+* ``Recode/BF`` — recoded symbols over the Bloom-filtered subset.
+* ``Recode/MW`` — recoded symbols over the whole set with the degree
+  distribution shifted by the min-wise-estimated correlation.
+"""
+
+import random
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.coding.degree import DegreeDistribution
+from repro.coding.recode import DEFAULT_MAX_RECODE_DEGREE, optimal_recode_degree
+from repro.delivery.packets import Packet
+from repro.delivery.working_set import WorkingSet
+from repro.filters import BloomFilter
+
+
+class SenderStrategy:
+    """Base class: a sender's rule for composing the next packet."""
+
+    #: Human-readable name matching the paper's legend.
+    name: str = "abstract"
+
+    def __init__(self, working_set: WorkingSet, rng: Optional[random.Random] = None):
+        if len(working_set) == 0:
+            raise ValueError("a sender with an empty working set cannot transmit")
+        self.working_set = working_set
+        self.rng = rng or random.Random()
+        # Materialised list for O(1) uniform sampling.
+        self._pool = list(working_set)
+
+    def next_packet(self) -> Packet:
+        """Compose one transmission."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _uniform_id(self, pool: Sequence[int]) -> int:
+        return pool[self.rng.randrange(len(pool))]
+
+
+class RandomStrategy(SenderStrategy):
+    """Uniform random selection from the working set (the baseline)."""
+
+    name = "Random"
+
+    def next_packet(self) -> Packet:
+        return Packet.encoded(self._uniform_id(self._pool))
+
+
+class RandomBFStrategy(SenderStrategy):
+    """Random selection restricted to symbols absent from the receiver's BF.
+
+    The filter is applied once at connection setup; false positives hide
+    some useful symbols for the whole transfer (paper Figure 5 notes BF
+    strategies plateau at the FP-induced loss).  If the filter eliminates
+    everything (identical sets up to FPs), falls back to plain random so a
+    sender never stalls silently.
+    """
+
+    name = "Random/BF"
+
+    def __init__(
+        self,
+        working_set: WorkingSet,
+        receiver_filter: BloomFilter,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(working_set, rng)
+        self._useful = [i for i in self._pool if i not in receiver_filter]
+        self.filtered_out = len(self._pool) - len(self._useful)
+
+    def next_packet(self) -> Packet:
+        pool = self._useful if self._useful else self._pool
+        return Packet.encoded(self._uniform_id(pool))
+
+
+class _RecodeBase(SenderStrategy):
+    """Shared recoded-packet machinery for the three recoding strategies."""
+
+    def __init__(
+        self,
+        working_set: WorkingSet,
+        domain: Sequence[int],
+        min_degree: int,
+        max_degree: int = DEFAULT_MAX_RECODE_DEGREE,
+        degree_shift: float = 0.0,
+        domain_limit: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(working_set, rng)
+        self._domain = list(domain) if domain else list(self._pool)
+        if domain_limit is not None and 0 < domain_limit < len(self._domain):
+            # Section 6.1: "we restrict the recoding domain to an
+            # appropriate small size" — recoding over a domain matched to
+            # what the receiver asked for lets pending blends resolve
+            # instead of scattering over symbols that will never arrive.
+            self._domain = self.rng.sample(self._domain, domain_limit)
+        max_degree = max(1, min(max_degree, len(self._domain)))
+        min_degree = max(1, min(min_degree, max_degree))
+        self._distribution = DegreeDistribution.recoding_soliton(
+            len(self._domain), min_degree=min_degree, max_degree=max_degree
+        )
+        self._degree_shift = degree_shift
+        self._max_degree = max_degree
+
+    def _draw_degree(self) -> int:
+        d = self._distribution.sample(self.rng)
+        if self._degree_shift:
+            d = min(self._max_degree, int(d / (1.0 - self._degree_shift)))
+        return max(1, min(d, len(self._domain)))
+
+    def next_packet(self) -> Packet:
+        degree = self._draw_degree()
+        chosen = self.rng.sample(self._domain, degree)
+        return Packet.recoded(frozenset(chosen))
+
+
+class RecodeStrategy(_RecodeBase):
+    """Oblivious recoding over the entire working set (no summary info)."""
+
+    name = "Recode"
+
+    def __init__(self, working_set: WorkingSet, rng: Optional[random.Random] = None):
+        super().__init__(working_set, domain=(), min_degree=1, rng=rng)
+
+
+class RecodeBFStrategy(_RecodeBase):
+    """Recoding restricted to the Bloom-filtered (guaranteed-useful) subset.
+
+    With the domain already purged of symbols the receiver holds, low
+    degrees are safe — the distribution starts at 1 and stays heavy-tailed
+    to tolerate parallel-download races.
+    """
+
+    name = "Recode/BF"
+
+    def __init__(
+        self,
+        working_set: WorkingSet,
+        receiver_filter: BloomFilter,
+        symbols_desired: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        useful = [i for i in working_set if i not in receiver_filter]
+        super().__init__(
+            working_set,
+            domain=useful,
+            min_degree=1,
+            domain_limit=symbols_desired,
+            rng=rng,
+        )
+        self.filtered_out = len(working_set) - len(useful)
+
+
+class RecodeMWStrategy(_RecodeBase):
+    """Recoding with the min-wise-informed degree shift (Section 6.2).
+
+    The sender recodes over its whole set but, knowing the estimated
+    correlation ``c``, shifts a sampled degree ``d`` to ``floor(d/(1-c))``
+    (capped) so most constituents land in the intersection and the blend
+    reduces to something new with good probability.
+    """
+
+    name = "Recode/MW"
+
+    def __init__(
+        self,
+        working_set: WorkingSet,
+        estimated_correlation: float,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= estimated_correlation <= 1.0:
+            raise ValueError("correlation estimate must lie in [0, 1]")
+        # Section 6.2: same base distribution as plain Recode; a sampled
+        # degree d becomes floor(d / (1 - c)), capped at the maximum.
+        super().__init__(
+            working_set,
+            domain=(),
+            min_degree=1,
+            degree_shift=min(estimated_correlation, 0.99),
+            rng=rng,
+        )
+        self.estimated_correlation = estimated_correlation
+
+
+#: Legend-order names, as they appear in Figures 5-8.
+STRATEGY_NAMES = ("Random", "Random/BF", "Recode", "Recode/BF", "Recode/MW")
+
+
+def make_strategy(
+    name: str,
+    sender_set: WorkingSet,
+    receiver_set: WorkingSet,
+    rng: random.Random,
+    bloom_bits_per_element: int = 8,
+    correlation_estimate: Optional[float] = None,
+    symbols_desired: Optional[int] = None,
+) -> SenderStrategy:
+    """Construct a strategy by legend name, building the summaries it needs.
+
+    The receiver-side artefacts (Bloom filter, min-wise estimate) are
+    derived from ``receiver_set`` exactly as the protocol would derive
+    them; ``correlation_estimate`` overrides the min-wise estimate when a
+    caller already ran sketch exchange.  ``symbols_desired`` is the count
+    the receiver requested from this sender (Section 6.1) and bounds the
+    Recode/BF recoding domain.
+    """
+    if name == "Random":
+        return RandomStrategy(sender_set, rng)
+    if name == "Random/BF":
+        return RandomBFStrategy(
+            sender_set,
+            receiver_set.bloom_summary(bits_per_element=bloom_bits_per_element),
+            rng,
+        )
+    if name == "Recode":
+        return RecodeStrategy(sender_set, rng)
+    if name == "Recode/BF":
+        return RecodeBFStrategy(
+            sender_set,
+            receiver_set.bloom_summary(bits_per_element=bloom_bits_per_element),
+            symbols_desired=symbols_desired,
+            rng=rng,
+        )
+    if name == "Recode/MW":
+        c = correlation_estimate
+        if c is None:
+            # Ground-truth correlation stands in for the (accurate)
+            # min-wise estimate; bench_sketches quantifies the estimate
+            # error separately.
+            inter = len(sender_set.ids & receiver_set.ids)
+            c = inter / len(sender_set) if len(sender_set) else 0.0
+        return RecodeMWStrategy(sender_set, c, rng)
+    raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

@@ -1,0 +1,103 @@
+"""A peer's working set and its "calling card" summaries.
+
+Section 3's framing: sketches are an end-system's lightweight calling
+card; searchable summaries (Bloom filter, ART) cost more but enable
+fine-grained reconciliation.  :class:`WorkingSet` owns the symbol-id set
+and builds all of them with consistent parameters.
+"""
+
+import random
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.art import ApproximateReconciliationTree
+from repro.filters import BloomFilter
+from repro.hashing.permutations import PermutationFamily
+from repro.sketches import MinwiseSketch, ModKSketch, RandomSampleSketch
+
+#: Default universe for symbol keys: 2^32 ids is "large" relative to any
+#: simulated file while keeping minwise permutation arithmetic cheap.
+DEFAULT_KEY_UNIVERSE = 1 << 32
+
+
+class WorkingSet:
+    """The set of encoded-symbol ids a peer currently holds."""
+
+    def __init__(self, ids: Iterable[int] = ()):
+        self._ids: Set[int] = set(ids)
+
+    # -- set behaviour ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, symbol_id: int) -> bool:
+        return symbol_id in self._ids
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    @property
+    def ids(self) -> Set[int]:
+        """A copy of the id set."""
+        return set(self._ids)
+
+    def add(self, symbol_id: int) -> bool:
+        """Insert; returns True if the symbol was new."""
+        if symbol_id in self._ids:
+            return False
+        self._ids.add(symbol_id)
+        return True
+
+    def update(self, ids: Iterable[int]) -> int:
+        """Insert many; returns how many were new."""
+        return sum(1 for i in ids if self.add(i))
+
+    def discard(self, symbol_id: int) -> None:
+        self._ids.discard(symbol_id)
+
+    # -- ground-truth relations (used by scenario builders and tests) -----
+
+    def containment_in(self, other: "WorkingSet") -> float:
+        """True ``|self ∩ other| / |self|`` (1.0 for empty self)."""
+        if not self._ids:
+            return 1.0
+        return len(self._ids & other._ids) / len(self._ids)
+
+    def resemblance_with(self, other: "WorkingSet") -> float:
+        """True ``|self ∩ other| / |self ∪ other|``."""
+        union = self._ids | other._ids
+        if not union:
+            return 0.0
+        return len(self._ids & other._ids) / len(union)
+
+    # -- calling cards ------------------------------------------------------
+
+    def minwise_sketch(self, family: PermutationFamily) -> MinwiseSketch:
+        """Min-wise calling card under the universally agreed family."""
+        return MinwiseSketch.build_vectorized(self._ids, family)
+
+    def random_sample_sketch(
+        self, k: int, rng: Optional[random.Random] = None
+    ) -> RandomSampleSketch:
+        """``k`` random keys with replacement (Section 4, first approach)."""
+        return RandomSampleSketch.build(self._ids, k, rng)
+
+    def modk_sketch(self, modulus: int, seed: int = 0) -> ModKSketch:
+        """Keys ≡ 0 (mod ``modulus``) (Section 4, second approach)."""
+        return ModKSketch.build(self._ids, modulus, seed)
+
+    def bloom_summary(
+        self, bits_per_element: int = 8, seed: int = 0
+    ) -> BloomFilter:
+        """Searchable Bloom summary of the working set (Section 5.2)."""
+        return BloomFilter.for_elements(
+            self._ids, bits_per_element=bits_per_element, seed=seed
+        )
+
+    def art(
+        self, bits_per_element: int = 8, seed: int = 0
+    ) -> ApproximateReconciliationTree:
+        """Approximate reconciliation tree over the working set (§5.3)."""
+        return ApproximateReconciliationTree(
+            self._ids, bits_per_element=bits_per_element, seed=seed
+        )

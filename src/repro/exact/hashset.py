@@ -1,0 +1,52 @@
+"""Hash-set reconciliation — exact up to an inverse-polynomial miss rate.
+
+Section 5.1: hash every element into ``U' = [0, h)`` and ship the hash set;
+``O(|S_A| log h)`` bits.  An element ``x ∈ S_B \\ S_A`` is *missed* when its
+hash collides with some hash of ``S_A`` — setting ``h = poly(|S_A|)``
+drives this inverse-polynomial, at ``Θ(|S_A| log |S_A|)`` bits shipped.
+"""
+
+from typing import FrozenSet, Iterable, List
+
+from repro.hashing.mix import mix64
+
+
+class HashSetSummary:
+    """The set of hashed keys peer A ships, plus B-side difference search."""
+
+    def __init__(self, elements: Iterable[int], hash_bits: int = 32, seed: int = 0):
+        if not 1 <= hash_bits <= 64:
+            raise ValueError("hash width must be between 1 and 64 bits")
+        self.hash_bits = hash_bits
+        self.seed = seed
+        self._hashes: FrozenSet[int] = frozenset(
+            self._hash(x) for x in elements
+        )
+
+    @classmethod
+    def with_polynomial_range(
+        cls, elements: Iterable[int], exponent: int = 3, seed: int = 0
+    ) -> "HashSetSummary":
+        """Size the hash range at ``|S|^exponent`` (the paper's ``poly(|S_A|)``)."""
+        pool = list(elements)
+        n = max(2, len(pool))
+        bits = min(64, max(8, exponent * (n - 1).bit_length()))
+        return cls(pool, hash_bits=bits, seed=seed)
+
+    def _hash(self, key: int) -> int:
+        return mix64(key, self.seed) >> (64 - self.hash_bits)
+
+    def __contains__(self, key: int) -> bool:
+        """Membership test with false-positive probability ~ |S_A| / 2^bits."""
+        return self._hash(key) in self._hashes
+
+    def difference_from(self, candidates: Iterable[int]) -> List[int]:
+        """Elements of ``candidates`` whose hashes are absent from the summary.
+
+        This is ``S_B - S_A`` minus any hash-collision misses.
+        """
+        return [x for x in candidates if x not in self]
+
+    def size_bytes(self) -> int:
+        """Wire size of the hash set."""
+        return ((self.hash_bits + 7) // 8) * len(self._hashes)

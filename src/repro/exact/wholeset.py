@@ -1,0 +1,23 @@
+"""Whole-set transmission — the trivial exact baseline.
+
+Peer A sends all of ``S_A``; peer B subtracts.  Exact, stateless, and
+``O(|S_A| log u)`` bits on the wire — the cost the paper's sketches and
+summaries exist to avoid.
+"""
+
+from typing import Iterable, Set, Tuple
+
+
+def whole_set_difference(
+    set_a: Iterable[int], set_b: Iterable[int], key_bits: int = 64
+) -> Tuple[Set[int], int]:
+    """Compute ``S_B - S_A`` as peer B would after receiving all of A's keys.
+
+    Returns:
+        ``(difference, wire_bytes)`` where ``wire_bytes`` is the cost of
+        shipping ``S_A`` at ``key_bits`` bits per key.
+    """
+    sa = set(set_a)
+    sb = set(set_b)
+    wire_bytes = (key_bits // 8) * len(sa)
+    return sb - sa, wire_bytes

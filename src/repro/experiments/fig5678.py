@@ -1,0 +1,213 @@
+"""Figure 5-8 reproductions: delivery-strategy simulations.
+
+Shared conventions (Section 6.3):
+
+* Correlation is ``|A ∩ B| / |B|`` (receiver A, sender B).
+* "Compact" systems hold 1.1n distinct symbols, "stretched" 1.5n.
+* All senders transmit at equal unit rates.
+* The receiver asks each sender for its share of the deficit plus a
+  margin covering decoding overhead (Section 6.1: "the receiver may
+  specify the number of symbols desired from each sender with
+  appropriate allowances for decoding overhead").
+"""
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.delivery import (
+    STRATEGY_NAMES,
+    SimReceiver,
+    make_multi_sender_scenario,
+    make_pair_scenario,
+    make_strategy,
+    simulate_multi_sender_transfer,
+    simulate_p2p_transfer,
+)
+from repro.delivery.scenarios import (
+    COMPACT_MULTIPLIER,
+    STRETCHED_MULTIPLIER,
+    max_pair_correlation,
+)
+
+#: Receiver's request margin over an even deficit split (decoding
+#: overhead allowance plus slack for sender-domain overlap).
+DESIRED_MARGIN = 1.15
+
+#: Default experiment scale.  The paper simulates ~24k-block files; the
+#: overhead/speedup ratios are scale-free above ~1k symbols, so the
+#: default keeps the whole suite fast.  Benchmarks can raise it.
+DEFAULT_TARGET = 1_000
+DEFAULT_TRIALS = 3
+
+
+@dataclass
+class DeliveryPoint:
+    """One (strategy, correlation) sample of a delivery figure."""
+
+    figure: str
+    scenario: str  # "compact" or "stretched"
+    strategy: str
+    correlation: float
+    value: float  # overhead (fig 5), speedup (fig 6), relative rate (7/8)
+    completed_fraction: float
+
+
+def _correlations(multiplier: float, count: int) -> List[float]:
+    """Evenly spaced achievable correlations for a pair scenario."""
+    cap = max_pair_correlation(multiplier) * 0.95
+    return [cap * i / (count - 1) for i in range(count)]
+
+
+def _scenario_name(multiplier: float) -> str:
+    return "compact" if multiplier <= 1.2 else "stretched"
+
+
+def run_fig5(
+    target: int = DEFAULT_TARGET,
+    trials: int = DEFAULT_TRIALS,
+    correlation_points: int = 6,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    seed: int = 7,
+) -> List[DeliveryPoint]:
+    """Figure 5: overhead of peer-to-peer transfers vs correlation."""
+    points: List[DeliveryPoint] = []
+    for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
+        for corr in _correlations(multiplier, correlation_points):
+            for name in strategies:
+                values, completed = [], 0
+                for t in range(trials):
+                    rng = random.Random(seed + 1000 * t + hash((multiplier, corr, name)) % 997)
+                    sc = make_pair_scenario(target, multiplier, corr, rng)
+                    recv = SimReceiver(sc.receiver.ids, sc.target)
+                    strat = make_strategy(
+                        name, sc.sender, sc.receiver, rng,
+                        symbols_desired=sc.target - len(sc.receiver),
+                    )
+                    res = simulate_p2p_transfer(recv, strat)
+                    if res.completed:
+                        completed += 1
+                        values.append(res.overhead)
+                points.append(
+                    DeliveryPoint(
+                        figure="5",
+                        scenario=_scenario_name(multiplier),
+                        strategy=name,
+                        correlation=corr,
+                        value=sum(values) / len(values) if values else math.nan,
+                        completed_fraction=completed / trials,
+                    )
+                )
+    return points
+
+
+def run_fig6(
+    target: int = DEFAULT_TARGET,
+    trials: int = DEFAULT_TRIALS,
+    correlation_points: int = 6,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    seed: int = 11,
+) -> List[DeliveryPoint]:
+    """Figure 6: speedup of full + partial sender over full sender alone."""
+    points: List[DeliveryPoint] = []
+    for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
+        for corr in _correlations(multiplier, correlation_points):
+            for name in strategies:
+                values, completed = [], 0
+                for t in range(trials):
+                    rng = random.Random(seed + 1000 * t + hash((multiplier, corr, name)) % 997)
+                    sc = make_pair_scenario(target, multiplier, corr, rng)
+                    recv = SimReceiver(sc.receiver.ids, sc.target)
+                    deficit = sc.target - len(sc.receiver)
+                    # Two equal-rate senders: ask each for half the deficit.
+                    desired = int(math.ceil(deficit / 2 * DESIRED_MARGIN))
+                    strat = make_strategy(
+                        name, sc.sender, sc.receiver, rng,
+                        symbols_desired=desired,
+                    )
+                    res = simulate_multi_sender_transfer(
+                        recv, [strat], full_senders=1
+                    )
+                    if res.completed:
+                        completed += 1
+                        values.append(res.speedup)
+                points.append(
+                    DeliveryPoint(
+                        figure="6",
+                        scenario=_scenario_name(multiplier),
+                        strategy=name,
+                        correlation=corr,
+                        value=sum(values) / len(values) if values else math.nan,
+                        completed_fraction=completed / trials,
+                    )
+                )
+    return points
+
+
+def run_fig78(
+    num_senders: int,
+    target: int = DEFAULT_TARGET,
+    trials: int = DEFAULT_TRIALS,
+    correlation_points: int = 6,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    max_correlation: float = 0.5,
+    seed: int = 13,
+) -> List[DeliveryPoint]:
+    """Figures 7 (2 senders) and 8 (4 senders): parallel partial senders.
+
+    Relative rate is measured against a single full sender (one useful
+    symbol per round).
+    """
+    if num_senders < 1:
+        raise ValueError("need at least one sender")
+    figure = "7" if num_senders == 2 else "8" if num_senders == 4 else f"7/8({num_senders})"
+    points: List[DeliveryPoint] = []
+    for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
+        corrs = [max_correlation * i / (correlation_points - 1)
+                 for i in range(correlation_points)]
+        for corr in corrs:
+            for name in strategies:
+                values, completed = [], 0
+                for t in range(trials):
+                    rng = random.Random(seed + 1000 * t + hash((multiplier, corr, name)) % 997)
+                    sc = make_multi_sender_scenario(
+                        target, multiplier, corr, num_senders, rng
+                    )
+                    recv = SimReceiver(sc.receiver.ids, sc.target)
+                    deficit = sc.target - len(sc.receiver)
+                    desired = int(math.ceil(deficit / num_senders * DESIRED_MARGIN))
+                    strats = [
+                        make_strategy(
+                            name, s, sc.receiver, rng, symbols_desired=desired
+                        )
+                        for s in sc.senders
+                    ]
+                    res = simulate_multi_sender_transfer(recv, strats)
+                    if res.completed:
+                        completed += 1
+                        values.append(res.speedup)
+                points.append(
+                    DeliveryPoint(
+                        figure=figure,
+                        scenario=_scenario_name(multiplier),
+                        strategy=name,
+                        correlation=corr,
+                        value=sum(values) / len(values) if values else math.nan,
+                        completed_fraction=completed / trials,
+                    )
+                )
+    return points
+
+
+def series_by_strategy(
+    points: Sequence[DeliveryPoint], scenario: str
+) -> Dict[str, List[DeliveryPoint]]:
+    """Group figure points into per-strategy series for one scenario."""
+    out: Dict[str, List[DeliveryPoint]] = {}
+    for p in points:
+        if p.scenario == scenario:
+            out.setdefault(p.strategy, []).append(p)
+    for series in out.values():
+        series.sort(key=lambda p: p.correlation)
+    return out

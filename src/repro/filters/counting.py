@@ -1,0 +1,84 @@
+"""Counting Bloom filter (Fan et al., "Summary Cache" — paper reference [11]).
+
+The base paper cites Summary Cache for Bloom filter background; counting
+filters are the standard tool when a summarised set must also support
+removal.  In our delivery pipeline they back long-lived peers whose working
+sets shrink (symbols discarded after decoding finishes or when re-encoding
+frees buffer space) without forcing a full summary rebuild.
+"""
+
+from array import array
+from typing import Iterable
+
+from repro.hashing.families import BloomHashes
+
+
+class CountingBloomFilter:
+    """Bloom filter with per-bucket counters supporting deletion.
+
+    Counters saturate at the array type's maximum rather than wrapping;
+    a saturated counter can no longer be decremented reliably, so
+    :meth:`remove` refuses to touch saturated buckets (documented false
+    positives are preferable to corrupting the summary with false
+    negatives).
+    """
+
+    _COUNTER_MAX = 0xFFFF  # 'H' = unsigned 16-bit
+
+    def __init__(self, m_buckets: int, k_hashes: int, seed: int = 0):
+        if m_buckets <= 0:
+            raise ValueError("filter must have at least one bucket")
+        if k_hashes <= 0:
+            raise ValueError("need at least one hash function")
+        self.m = m_buckets
+        self.k = k_hashes
+        self.seed = seed
+        self._hashes = BloomHashes(k_hashes, m_buckets, seed)
+        self._counters = array("H", bytes(2 * m_buckets))
+        self.count = 0
+
+    @classmethod
+    def for_elements(
+        cls,
+        elements: Iterable[int],
+        buckets_per_element: int = 8,
+        k_hashes: int = 5,
+        seed: int = 0,
+    ) -> "CountingBloomFilter":
+        """Build and populate a filter in one call."""
+        pool = list(elements)
+        cbf = cls(max(8, buckets_per_element * max(1, len(pool))), k_hashes, seed)
+        for x in pool:
+            cbf.add(x)
+        return cbf
+
+    def add(self, key: int) -> None:
+        """Insert ``key``, incrementing its buckets (saturating)."""
+        counters = self._counters
+        for idx in self._hashes.indices(key):
+            if counters[idx] < self._COUNTER_MAX:
+                counters[idx] += 1
+        self.count += 1
+
+    def remove(self, key: int) -> None:
+        """Delete one occurrence of ``key``.
+
+        Raises:
+            KeyError: if ``key`` is definitely absent — decrementing then
+                would introduce false negatives for other keys.
+        """
+        if key not in self:
+            raise KeyError(f"key {key} not present; refusing unsafe decrement")
+        counters = self._counters
+        for idx in self._hashes.indices(key):
+            if counters[idx] < self._COUNTER_MAX:
+                counters[idx] -= 1
+        self.count -= 1
+
+    def __contains__(self, key: int) -> bool:
+        counters = self._counters
+        return all(counters[idx] > 0 for idx in self._hashes.indices(key))
+
+    def size_bytes(self) -> int:
+        """In-memory size of the counter array."""
+        return 2 * self.m

@@ -1,0 +1,117 @@
+"""Pipelined partition filters — the Section 5.2 "scaling up" construction.
+
+For working sets beyond tens of thousands of symbols, shipping one filter
+for everything is wasteful when far fewer symbols will cross a given
+connection.  The paper's fix: peer A builds a Bloom filter only for the
+elements with ``key ≡ beta (mod rho)``; peer B uses it to find elements of
+``S_B - S_A`` in that residue class (still a large set), and additional
+filters for other ``beta`` values are pipelined over as needed.
+"""
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.filters.bloom import BloomFilter
+from repro.hashing.mix import mix64
+
+
+class PartitionedBloomFilter:
+    """Bloom filter covering only one residue class of the key universe.
+
+    Attributes:
+        rho: number of partitions the universe is split into.
+        beta: the residue class this filter summarises.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[int],
+        rho: int,
+        beta: int,
+        bits_per_element: int = 8,
+        k_hashes: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if rho <= 0:
+            raise ValueError("partition count rho must be positive")
+        if not 0 <= beta < rho:
+            raise ValueError("residue beta must lie in [0, rho)")
+        self.rho = rho
+        self.beta = beta
+        self.seed = seed
+        members = [x for x in elements if self._in_partition(x)]
+        self.member_count = len(members)
+        self._filter = BloomFilter.for_elements(
+            members, bits_per_element=bits_per_element, k_hashes=k_hashes, seed=seed
+        )
+
+    def _in_partition(self, key: int) -> bool:
+        return mix64(key, self.seed) % self.rho == self.beta
+
+    def covers(self, key: int) -> bool:
+        """Whether this filter is authoritative for ``key`` at all."""
+        return self._in_partition(key)
+
+    def __contains__(self, key: int) -> bool:
+        if not self._in_partition(key):
+            raise ValueError(
+                f"key {key} is not in partition beta={self.beta} (mod {self.rho}); "
+                "membership in other partitions is unknown to this filter"
+            )
+        return key in self._filter
+
+    def missing_from(self, candidates: Iterable[int]) -> Iterator[int]:
+        """Yield covered candidates that are definitely absent from the set."""
+        for key in candidates:
+            if self._in_partition(key) and key not in self._filter:
+                yield key
+
+    def size_bytes(self) -> int:
+        return self._filter.size_bytes()
+
+
+class PartitionedSummaryStream:
+    """Sender-side pipeline producing one partition filter per request.
+
+    Models the incremental protocol: the sender summarises partition 0
+    first; when the receiver has drained the useful symbols it learned
+    from it, it asks for the next partition, and so on.  Filters are built
+    lazily so a connection that dies early never pays for the whole set.
+    """
+
+    def __init__(
+        self,
+        working_set: Iterable[int],
+        rho: int,
+        bits_per_element: int = 8,
+        seed: int = 0,
+    ):
+        if rho <= 0:
+            raise ValueError("partition count rho must be positive")
+        self._elements: List[int] = list(working_set)
+        self.rho = rho
+        self.bits_per_element = bits_per_element
+        self.seed = seed
+        self._built: Dict[int, PartitionedBloomFilter] = {}
+
+    def filter_for(self, beta: int) -> PartitionedBloomFilter:
+        """Return (building on first use) the filter for residue ``beta``."""
+        if not 0 <= beta < self.rho:
+            raise ValueError("residue beta must lie in [0, rho)")
+        if beta not in self._built:
+            self._built[beta] = PartitionedBloomFilter(
+                self._elements,
+                rho=self.rho,
+                beta=beta,
+                bits_per_element=self.bits_per_element,
+                seed=self.seed,
+            )
+        return self._built[beta]
+
+    def __iter__(self) -> Iterator[PartitionedBloomFilter]:
+        """Iterate filters in pipeline order (beta = 0, 1, ..., rho-1)."""
+        for beta in range(self.rho):
+            yield self.filter_for(beta)
+
+    def total_size_bytes(self) -> int:
+        """Wire bytes for the filters built so far."""
+        return sum(f.size_bytes() for f in self._built.values())

@@ -1,0 +1,62 @@
+"""Deterministic 64-bit integer mixers.
+
+These are the scalar workhorses underneath every sketch and filter in the
+library.  They are pure functions of their inputs (no global state), so all
+experiments are reproducible given a seed.
+"""
+
+from typing import Iterator
+
+_MASK64 = (1 << 64) - 1
+
+# splitmix64 constants (Steele, Lea, Flood 2014).
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MUL1 = 0xBF58476D1CE4E5B9
+_SM_MUL2 = 0x94D049BB133111EB
+
+# 2^64 / phi, the Fibonacci hashing multiplier.
+_FIB_MUL = 0x9E3779B97F4A7C15
+
+
+def mix64(x: int, seed: int = 0) -> int:
+    """Mix a 64-bit integer into a pseudo-random 64-bit integer.
+
+    This is the splitmix64 finalizer applied to ``x + seed * gamma``.  It is
+    bijective for a fixed seed, which matters for min-wise sketches: a
+    bijection of the key universe preserves set sizes and intersections.
+
+    Args:
+        x: the input key (any non-negative int; only low 64 bits are used).
+        seed: selects one function from the family.
+
+    Returns:
+        A value in ``[0, 2**64)``.
+    """
+    z = (x + (seed + 1) * _SM_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _SM_MUL1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SM_MUL2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def fibonacci_mix(x: int, bits: int) -> int:
+    """Map ``x`` to a ``bits``-wide value via Fibonacci multiplicative hashing.
+
+    Cheaper than :func:`mix64`; adequate when the input is already random
+    (e.g. hashing an already-mixed key down to a Bloom filter index).
+    """
+    return ((x * _FIB_MUL) & _MASK64) >> (64 - bits)
+
+
+def splitmix64_stream(seed: int) -> Iterator[int]:
+    """Yield an endless reproducible stream of 64-bit values from ``seed``.
+
+    Used wherever the library needs "a few more seeds" without threading a
+    random.Random through every constructor.
+    """
+    state = seed & _MASK64
+    while True:
+        state = (state + _SM_GAMMA) & _MASK64
+        z = state
+        z = ((z ^ (z >> 30)) * _SM_MUL1) & _MASK64
+        z = ((z ^ (z >> 27)) * _SM_MUL2) & _MASK64
+        yield z ^ (z >> 31)

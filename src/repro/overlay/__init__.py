@@ -1,0 +1,50 @@
+"""Adaptive overlay network substrate (paper Sections 1-2).
+
+The paper's delivery machinery assumes an overlay of unicast connections
+that adapts to network conditions: multicast-style trees for initial
+dissemination, "perpendicular" peer connections exploiting complementary
+working sets (Figure 1), admission control via sketches (Section 4), and
+reconfiguration when connections lose utility.
+
+* :mod:`repro.overlay.topology` — virtual topology over a physical
+  network model; tree embedding, perpendicular edge selection, rerouting
+  around congested paths.
+* :mod:`repro.overlay.node` — overlay end-systems: working set, sketch
+  publication, connection slots.
+* :mod:`repro.overlay.simulator` — tick-based simulation engine:
+  connections deliver packets (bandwidth- and loss-limited), nodes
+  reconcile and adapt peering, metrics are collected per node.
+* :mod:`repro.overlay.reconfiguration` — peering policies: sketch-based
+  admission control and utility-driven rewiring.
+* :mod:`repro.overlay.scenarios` — canned topologies including the
+  paper's Figure 1 example.
+"""
+
+from repro.overlay.topology import PhysicalNetwork, VirtualTopology
+from repro.overlay.node import OverlayNode
+from repro.overlay.simulator import Connection, OverlaySimulator, SimulationReport
+from repro.overlay.reconfiguration import (
+    AdmissionPolicy,
+    ReconfigurationPolicy,
+    SketchAdmission,
+    UtilityRewiring,
+)
+from repro.overlay.scenarios import figure1_scenario, random_overlay_scenario
+from repro.overlay.churn import ChurnProcess, run_with_churn
+
+__all__ = [
+    "ChurnProcess",
+    "run_with_churn",
+    "PhysicalNetwork",
+    "VirtualTopology",
+    "OverlayNode",
+    "Connection",
+    "OverlaySimulator",
+    "SimulationReport",
+    "AdmissionPolicy",
+    "SketchAdmission",
+    "ReconfigurationPolicy",
+    "UtilityRewiring",
+    "figure1_scenario",
+    "random_overlay_scenario",
+]

@@ -1,0 +1,114 @@
+"""Overlay end-systems.
+
+A node owns a working set of encoded symbols, publishes its min-wise
+calling card (Section 4), and tracks completion against the file's
+recovery target.  Sources hold full content and mint fresh symbols;
+partial nodes serve from what they hold.
+"""
+
+import itertools
+import random
+from typing import Iterable, Optional
+
+from repro.delivery.working_set import DEFAULT_KEY_UNIVERSE, WorkingSet
+from repro.hashing.permutations import PermutationFamily
+from repro.sketches import MinwiseSketch
+
+
+class OverlayNode:
+    """One end-system in the overlay.
+
+    Args:
+        node_id: unique name.
+        target: distinct symbols needed to recover the file (decoding
+            overhead included).
+        initial_ids: working set at join time.
+        is_source: sources hold the whole file and generate fresh
+            encoding on demand (never run dry, never redundant).
+        max_connections: inbound connection slots (download concurrency).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        target: int,
+        initial_ids: Iterable[int] = (),
+        is_source: bool = False,
+        max_connections: int = 4,
+        fresh_id_start: Optional[int] = None,
+    ):
+        if target < 1:
+            raise ValueError("target must be positive")
+        self.node_id = node_id
+        self.target = target
+        self.working_set = WorkingSet(initial_ids)
+        self.is_source = is_source
+        self.max_connections = max_connections
+        self._sketch: Optional[MinwiseSketch] = None
+        self._sketch_dirty = True
+        if is_source:
+            start = fresh_id_start if fresh_id_start is not None else (1 << 40)
+            self._fresh_ids = itertools.count(start)
+        else:
+            self._fresh_ids = None
+        self.joined_at_tick = 0
+        self.completed_at_tick: Optional[int] = None
+
+    # -- content state ------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """Sources are complete by definition; peers need ``target`` ids."""
+        return self.is_source or len(self.working_set) >= self.target
+
+    def receive_symbol(self, symbol_id: int) -> bool:
+        """Add one symbol id; True if it was new."""
+        new = self.working_set.add(symbol_id)
+        if new:
+            self._sketch_dirty = True
+        return new
+
+    def mint_fresh_id(self) -> int:
+        """Sources only: a fresh encoded-symbol id nobody has seen."""
+        if self._fresh_ids is None:
+            raise RuntimeError(f"{self.node_id} is not a source")
+        return next(self._fresh_ids)
+
+    # -- calling card --------------------------------------------------------
+
+    def sketch(self, family: PermutationFamily) -> MinwiseSketch:
+        """Current min-wise sketch (rebuilt lazily after updates).
+
+        Incremental maintenance would be O(1) per symbol (Section 4);
+        rebuilding lazily on publication keeps the simulator simple while
+        preserving the protocol-visible behaviour.
+        """
+        if self._sketch is None or self._sketch_dirty:
+            ids = self.working_set.ids
+            # Sketch over the key universe the family expects.
+            self._sketch = MinwiseSketch.build_vectorized(
+                (i % family.universe_size for i in ids), family
+            )
+            self._sketch_dirty = False
+        return self._sketch
+
+    def estimated_usefulness_of(
+        self, other: "OverlayNode", family: PermutationFamily
+    ) -> float:
+        """1 - resemblance: a cheap proxy for how much ``other`` offers.
+
+        Sources are always maximally useful.  This is the admission-
+        control signal from Section 4: "receivers ... immediately reject
+        candidate senders whose content is identical to their own".
+        """
+        if other.is_source:
+            return 1.0
+        r = self.sketch(family).estimate_resemblance(other.sketch(family))
+        return 1.0 - r
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "source" if self.is_source else "peer"
+        return (
+            f"OverlayNode({self.node_id}, {kind}, "
+            f"{len(self.working_set)}/{self.target})"
+        )

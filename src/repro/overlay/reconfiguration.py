@@ -1,0 +1,115 @@
+"""Peering policies: admission control and utility-driven rewiring.
+
+Section 4's closing point: "Equipped with similarity estimation, overlay
+management may explicitly avoid connecting nodes with identical content."
+These policies plug into :class:`~repro.overlay.simulator.OverlaySimulator`
+and make the overlay *adaptive* in the paper's sense — connections form,
+are judged by their informed utility, and are replaced when better-suited
+peers exist.
+"""
+
+import random
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.hashing.permutations import PermutationFamily
+from repro.overlay.node import OverlayNode
+
+
+class AdmissionPolicy(Protocol):
+    """Decides whether a receiver should accept a candidate sender."""
+
+    def admit(
+        self, receiver: OverlayNode, candidate: OverlayNode
+    ) -> bool: ...
+
+
+class SketchAdmission:
+    """Admit a sender iff its sketched usefulness clears a threshold.
+
+    A threshold of 0 admits everyone except exact-duplicate working sets
+    (up to sketch noise); the paper's "simple admission control".
+    """
+
+    def __init__(self, family: PermutationFamily, min_usefulness: float = 0.02):
+        if not 0.0 <= min_usefulness <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        self.family = family
+        self.min_usefulness = min_usefulness
+
+    def admit(self, receiver: OverlayNode, candidate: OverlayNode) -> bool:
+        if candidate.is_source:
+            return True
+        if len(candidate.working_set) == 0:
+            return False
+        return (
+            receiver.estimated_usefulness_of(candidate, self.family)
+            >= self.min_usefulness
+        )
+
+
+class ReconfigurationPolicy(Protocol):
+    """Periodically rewires a receiver's sender slots."""
+
+    def rewire(
+        self,
+        receiver: OverlayNode,
+        current_senders: List[OverlayNode],
+        candidates: List[OverlayNode],
+    ) -> Tuple[List[OverlayNode], List[OverlayNode]]: ...
+
+
+class UtilityRewiring:
+    """Drop the least-useful sender when a clearly better candidate exists.
+
+    Utility is the sketched usefulness estimate; a swap happens only when
+    the best candidate beats the worst current sender by ``hysteresis``
+    (avoiding the oscillation the paper's "frequent reconnections" warn
+    about).  Returns (senders_to_drop, senders_to_add).
+    """
+
+    def __init__(
+        self,
+        family: PermutationFamily,
+        hysteresis: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ):
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.family = family
+        self.hysteresis = hysteresis
+        self.rng = rng or random.Random()
+
+    def rewire(
+        self,
+        receiver: OverlayNode,
+        current_senders: List[OverlayNode],
+        candidates: List[OverlayNode],
+    ) -> Tuple[List[OverlayNode], List[OverlayNode]]:
+        usable = [
+            c
+            for c in candidates
+            if c.node_id != receiver.node_id
+            and c.node_id not in {s.node_id for s in current_senders}
+            and (c.is_source or len(c.working_set) > 0)
+        ]
+        if not usable:
+            return [], []
+
+        def utility(node: OverlayNode) -> float:
+            return receiver.estimated_usefulness_of(node, self.family)
+
+        # Fill empty slots first.
+        free_slots = receiver.max_connections - len(current_senders)
+        additions: List[OverlayNode] = []
+        if free_slots > 0:
+            ranked = sorted(usable, key=utility, reverse=True)
+            additions = [c for c in ranked[:free_slots] if utility(c) > 0]
+            return [], additions
+
+        if not current_senders:
+            return [], []
+        worst = min(current_senders, key=utility)
+        best = max(usable, key=utility)
+        if utility(best) > utility(worst) + self.hysteresis:
+            return [worst], [best]
+        return [], []

@@ -1,0 +1,265 @@
+"""Tick-based overlay delivery simulation.
+
+Each tick, every live connection delivers up to ``bandwidth`` packets
+composed by the sender's strategy, each independently lost with the
+path's loss rate.  Receivers peel recoded arrivals; every
+``reconfigure_every`` ticks the rewiring policy re-evaluates peerings
+using sketches.  The engine exercises the paper's full loop: encode →
+sketch → admit → summarise → informed transfer → adapt.
+"""
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.coding.peeler import RecodedPeeler
+from repro.coding.symbol import RecodedSymbol
+from repro.delivery.packets import Packet
+from repro.delivery.strategies import SenderStrategy, make_strategy
+from repro.delivery.working_set import WorkingSet
+from repro.hashing.permutations import PermutationFamily
+from repro.overlay.node import OverlayNode
+from repro.overlay.reconfiguration import AdmissionPolicy, ReconfigurationPolicy
+from repro.overlay.topology import VirtualTopology
+
+
+@dataclass
+class Connection:
+    """A live virtual connection with its sender strategy."""
+
+    sender: OverlayNode
+    receiver: OverlayNode
+    strategy: Optional[SenderStrategy]  # None for sources (mint fresh ids)
+    bandwidth: float
+    loss_rate: float
+    established_tick: int
+    packets_sent: int = 0
+    packets_lost: int = 0
+    packets_useful: int = 0
+    _credit: float = 0.0
+
+    def packets_this_tick(self) -> int:
+        """Integer packets for a possibly fractional bandwidth."""
+        self._credit += self.bandwidth
+        whole = int(self._credit)
+        self._credit -= whole
+        return whole
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome of an overlay simulation run."""
+
+    ticks: int
+    all_complete: bool
+    completion_ticks: Dict[str, Optional[int]]
+    packets_sent: int
+    packets_lost: int
+    packets_useful: int
+    reconfigurations: int
+
+    @property
+    def efficiency(self) -> float:
+        """Useful packets / delivered packets (1.0 = no redundancy)."""
+        delivered = self.packets_sent - self.packets_lost
+        return self.packets_useful / delivered if delivered else 0.0
+
+
+class OverlaySimulator:
+    """Drives nodes, connections, and adaptation policies tick by tick."""
+
+    def __init__(
+        self,
+        topology: VirtualTopology,
+        sketch_family: PermutationFamily,
+        admission: Optional[AdmissionPolicy] = None,
+        rewiring: Optional[ReconfigurationPolicy] = None,
+        strategy_name: str = "Recode/BF",
+        reconfigure_every: int = 20,
+        refresh_every: int = 20,
+        rng: Optional[random.Random] = None,
+    ):
+        self.topology = topology
+        self.family = sketch_family
+        self.admission = admission
+        self.rewiring = rewiring
+        self.strategy_name = strategy_name
+        self.reconfigure_every = reconfigure_every
+        self.refresh_every = refresh_every
+        self.rng = rng or random.Random()
+        self.nodes: Dict[str, OverlayNode] = {}
+        self.connections: Dict[tuple, Connection] = {}
+        self._peelers: Dict[str, RecodedPeeler] = {}
+        self.tick_count = 0
+        self.reconfigurations = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def add_node(self, node: OverlayNode) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        node.joined_at_tick = self.tick_count
+        self.nodes[node.node_id] = node
+        self.topology.add_peer(node.node_id)
+        if not node.is_source:
+            self._peelers[node.node_id] = RecodedPeeler(
+                known_ids=node.working_set.ids
+            )
+
+    def connect(self, sender_id: str, receiver_id: str) -> bool:
+        """Establish a connection, subject to admission control.
+
+        Returns True if the connection was admitted and created.
+        """
+        sender = self.nodes[sender_id]
+        receiver = self.nodes[receiver_id]
+        if receiver.is_source:
+            return False
+        if (sender_id, receiver_id) in self.connections:
+            return False
+        if self.admission is not None and not self.admission.admit(receiver, sender):
+            return False
+        chars = self.topology.connect(sender_id, receiver_id)
+        strategy = self._build_strategy(sender, receiver)
+        self.connections[(sender_id, receiver_id)] = Connection(
+            sender=sender,
+            receiver=receiver,
+            strategy=strategy,
+            bandwidth=chars.bandwidth,
+            loss_rate=chars.loss_rate,
+            established_tick=self.tick_count,
+        )
+        return True
+
+    def disconnect(self, sender_id: str, receiver_id: str) -> None:
+        self.connections.pop((sender_id, receiver_id), None)
+        self.topology.disconnect(sender_id, receiver_id)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one time step: deliver packets, maybe reconfigure."""
+        self.tick_count += 1
+        for conn in list(self.connections.values()):
+            if conn.receiver.is_complete:
+                continue
+            if not conn.sender.is_source and conn.strategy is None:
+                continue  # sender has nothing to offer yet
+            for _ in range(conn.packets_this_tick()):
+                packet = self._compose(conn)
+                conn.packets_sent += 1
+                if self.rng.random() < conn.loss_rate:
+                    conn.packets_lost += 1
+                    continue
+                if self._deliver(conn.receiver, packet):
+                    conn.packets_useful += 1
+                if conn.receiver.is_complete:
+                    if conn.receiver.completed_at_tick is None:
+                        conn.receiver.completed_at_tick = self.tick_count
+                    break
+        if self.refresh_every and self.tick_count % self.refresh_every == 0:
+            self._refresh_strategies()
+        if (
+            self.rewiring is not None
+            and self.tick_count % self.reconfigure_every == 0
+        ):
+            self._reconfigure()
+
+    def run(self, max_ticks: int = 10_000) -> SimulationReport:
+        """Tick until every non-source node completes (or the cap hits)."""
+        while self.tick_count < max_ticks and not self._all_complete():
+            self.tick()
+        return self.report()
+
+    def report(self) -> SimulationReport:
+        return SimulationReport(
+            ticks=self.tick_count,
+            all_complete=self._all_complete(),
+            completion_ticks={
+                nid: n.completed_at_tick
+                for nid, n in self.nodes.items()
+                if not n.is_source
+            },
+            packets_sent=sum(c.packets_sent for c in self.connections.values()),
+            packets_lost=sum(c.packets_lost for c in self.connections.values()),
+            packets_useful=sum(c.packets_useful for c in self.connections.values()),
+            reconfigurations=self.reconfigurations,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _all_complete(self) -> bool:
+        return all(n.is_complete for n in self.nodes.values())
+
+    def _build_strategy(
+        self, sender: OverlayNode, receiver: OverlayNode
+    ) -> Optional[SenderStrategy]:
+        """Strategy for a partial sender; sources mint fresh ids instead."""
+        if sender.is_source:
+            return None
+        if len(sender.working_set) == 0:
+            return None
+        deficit = max(1, receiver.target - len(receiver.working_set))
+        slots = max(1, receiver.max_connections)
+        return make_strategy(
+            self.strategy_name,
+            sender.working_set,
+            receiver.working_set,
+            self.rng,
+            symbols_desired=int(math.ceil(deficit / slots * 1.15)),
+        )
+
+    def _refresh_strategies(self) -> None:
+        """Periodic control-message exchange (Section 6.1).
+
+        "In a full system, these estimates as well as other messages,
+        including sketches, summaries or other control information, would
+        be passed periodically."  Rebuilding a connection's strategy
+        refreshes both the sender's recoding domain (new content becomes
+        shareable) and the receiver's summary (delivered content stops
+        being offered).
+        """
+        for key, conn in list(self.connections.items()):
+            if conn.sender.is_source or conn.receiver.is_complete:
+                continue
+            conn.strategy = self._build_strategy(conn.sender, conn.receiver)
+            if conn.strategy is None:
+                self.disconnect(*key)
+
+    def _compose(self, conn: Connection) -> Packet:
+        if conn.sender.is_source:
+            return Packet.encoded(conn.sender.mint_fresh_id())
+        assert conn.strategy is not None
+        return conn.strategy.next_packet()
+
+    def _deliver(self, receiver: OverlayNode, packet: Packet) -> bool:
+        """Feed a packet through the receiver's peeler; True if useful."""
+        peeler = self._peelers[receiver.node_id]
+        if packet.is_recoded:
+            assert packet.recoded_ids is not None
+            recovered = peeler.add_recoded(RecodedSymbol(packet.recoded_ids))
+        else:
+            assert packet.encoded_id is not None
+            recovered = peeler.add_encoded(packet.encoded_id)
+        for symbol_id in recovered:
+            receiver.receive_symbol(symbol_id)
+        return bool(recovered)
+
+    def _reconfigure(self) -> None:
+        assert self.rewiring is not None
+        all_nodes = list(self.nodes.values())
+        for receiver in all_nodes:
+            if receiver.is_source or receiver.is_complete:
+                continue
+            current = [
+                self.nodes[s]
+                for s in self.topology.senders_of(receiver.node_id)
+                if s in self.nodes
+            ]
+            drops, adds = self.rewiring.rewire(receiver, current, all_nodes)
+            for d in drops:
+                self.disconnect(d.node_id, receiver.node_id)
+            for a in adds:
+                if self.connect(a.node_id, receiver.node_id):
+                    self.reconfigurations += 1

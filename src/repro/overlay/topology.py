@@ -1,0 +1,232 @@
+"""Physical network model and virtual overlay topology.
+
+End-system multicast maps a virtual graph of unicast connections onto a
+physical network (Section 1).  The physical model provides per-path
+bandwidth and loss derived from link properties; the virtual topology
+tracks which overlay connections exist and can build spanning trees,
+propose perpendicular edges, and reroute around degraded links — the
+"adaptive" in adaptive overlay networks.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+@dataclass
+class PathCharacteristics:
+    """End-to-end properties of one virtual connection's physical path."""
+
+    bandwidth: float  # symbols per tick (bottleneck link)
+    loss_rate: float  # composite packet loss probability
+    hops: int
+
+
+class PhysicalNetwork:
+    """An undirected physical network with per-link bandwidth and loss.
+
+    Virtual connections acquire the bottleneck bandwidth and the
+    composed loss of their shortest physical path — redundant virtual
+    edges over the same physical link are visible through shared path
+    membership (:meth:`shared_links`).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.graph = nx.Graph()
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def random_network(
+        cls,
+        num_routers: int,
+        attach_degree: int = 2,
+        bandwidth_range: Tuple[float, float] = (2.0, 10.0),
+        loss_range: Tuple[float, float] = (0.0, 0.02),
+        seed: int = 0,
+    ) -> "PhysicalNetwork":
+        """Barabasi-Albert router core with randomised link properties."""
+        net = cls(seed)
+        rng = net._rng
+        core = nx.barabasi_albert_graph(
+            max(num_routers, attach_degree + 1), attach_degree, seed=seed
+        )
+        for u, v in core.edges:
+            net.add_link(
+                f"r{u}",
+                f"r{v}",
+                bandwidth=rng.uniform(*bandwidth_range),
+                loss_rate=rng.uniform(*loss_range),
+            )
+        return net
+
+    def add_link(
+        self, a: str, b: str, bandwidth: float, loss_rate: float = 0.0
+    ) -> None:
+        """Add (or overwrite) a physical link."""
+        if bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must lie in [0, 1)")
+        self.graph.add_edge(a, b, bandwidth=bandwidth, loss_rate=loss_rate)
+
+    def attach_host(
+        self, host: str, router: str, bandwidth: float, loss_rate: float = 0.0
+    ) -> None:
+        """Attach an end-system to a router by an access link."""
+        if router not in self.graph:
+            raise ValueError(f"unknown router {router!r}")
+        self.add_link(host, router, bandwidth, loss_rate)
+
+    def routers(self) -> List[str]:
+        """All router nodes (names starting with 'r')."""
+        return [n for n in self.graph if str(n).startswith("r")]
+
+    def path_characteristics(self, src: str, dst: str) -> PathCharacteristics:
+        """Bottleneck bandwidth and composite loss on the shortest path."""
+        path = nx.shortest_path(self.graph, src, dst)
+        if len(path) < 2:
+            return PathCharacteristics(float("inf"), 0.0, 0)
+        bandwidth = float("inf")
+        survive = 1.0
+        for u, v in zip(path, path[1:]):
+            data = self.graph[u][v]
+            bandwidth = min(bandwidth, data["bandwidth"])
+            survive *= 1.0 - data["loss_rate"]
+        return PathCharacteristics(bandwidth, 1.0 - survive, len(path) - 1)
+
+    def shared_links(self, pair1: Tuple[str, str], pair2: Tuple[str, str]) -> int:
+        """Physical links common to two virtual connections' paths.
+
+        Non-zero sharing is the overlay redundancy Section 1 warns about:
+        "overlay-based approaches may redundantly map multiple virtual
+        paths onto the same network path".
+        """
+        p1 = nx.shortest_path(self.graph, *pair1)
+        p2 = nx.shortest_path(self.graph, *pair2)
+        e1 = {frozenset(e) for e in zip(p1, p1[1:])}
+        e2 = {frozenset(e) for e in zip(p2, p2[1:])}
+        return len(e1 & e2)
+
+    def degrade_link(self, a: str, b: str, loss_rate: float) -> None:
+        """Simulate transience: raise a link's loss (Section 2.1)."""
+        if not self.graph.has_edge(a, b):
+            raise ValueError(f"no link between {a!r} and {b!r}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must lie in [0, 1)")
+        self.graph[a][b]["loss_rate"] = loss_rate
+
+
+class VirtualTopology:
+    """The overlay: directed virtual connections among end-systems."""
+
+    def __init__(self, physical: Optional[PhysicalNetwork] = None):
+        self.physical = physical
+        self.graph = nx.DiGraph()
+
+    def add_peer(self, peer_id: str) -> None:
+        self.graph.add_node(peer_id)
+
+    def connect(self, sender: str, receiver: str) -> PathCharacteristics:
+        """Create a virtual connection; returns its path characteristics."""
+        if sender == receiver:
+            raise ValueError("a peer cannot connect to itself")
+        chars = (
+            self.physical.path_characteristics(sender, receiver)
+            if self.physical is not None
+            else PathCharacteristics(1.0, 0.0, 1)
+        )
+        self.graph.add_edge(
+            sender,
+            receiver,
+            bandwidth=chars.bandwidth,
+            loss_rate=chars.loss_rate,
+        )
+        return chars
+
+    def disconnect(self, sender: str, receiver: str) -> None:
+        if self.graph.has_edge(sender, receiver):
+            self.graph.remove_edge(sender, receiver)
+
+    def connections(self) -> List[Tuple[str, str]]:
+        return list(self.graph.edges)
+
+    def senders_of(self, receiver: str) -> List[str]:
+        return [u for u, v in self.graph.in_edges(receiver)]
+
+    def receivers_of(self, sender: str) -> List[str]:
+        return [v for u, v in self.graph.out_edges(sender)]
+
+    def build_multicast_tree(self, source: str, peers: Iterable[str]) -> None:
+        """Connect peers in a bandwidth-greedy tree rooted at the source.
+
+        A simple end-system-multicast embedding: peers join in descending
+        access quality, each attaching to the already-joined node with
+        the best path to it (Figure 1(a)'s starting topology).
+        """
+        joined: Set[str] = {source}
+        self.add_peer(source)
+        pending = [p for p in peers if p != source]
+        while pending:
+            best: Optional[Tuple[float, str, str]] = None
+            for p in pending:
+                for j in joined:
+                    if self.physical is not None:
+                        chars = self.physical.path_characteristics(j, p)
+                        key = (chars.bandwidth * (1.0 - chars.loss_rate), j, p)
+                    else:
+                        key = (1.0, j, p)
+                    if best is None or key[0] > best[0]:
+                        best = key
+            assert best is not None
+            _, parent, child = best
+            self.add_peer(child)
+            self.connect(parent, child)
+            joined.add(child)
+            pending.remove(child)
+
+    def propose_perpendicular(
+        self, peers: Iterable[str], max_new: int = 3
+    ) -> List[Tuple[str, str]]:
+        """Candidate non-tree edges between peers (Figure 1(c))'s style.
+
+        Proposes pairs not already connected in either direction, ranked
+        by physical path quality.  Working-set complementarity filtering
+        happens in the admission policy, which has sketch access.
+        """
+        peer_list = list(peers)
+        candidates: List[Tuple[float, str, str]] = []
+        for i, a in enumerate(peer_list):
+            for b in peer_list[i + 1 :]:
+                if self.graph.has_edge(a, b) or self.graph.has_edge(b, a):
+                    continue
+                if self.physical is not None:
+                    chars = self.physical.path_characteristics(a, b)
+                    quality = chars.bandwidth * (1.0 - chars.loss_rate)
+                else:
+                    quality = 1.0
+                candidates.append((quality, a, b))
+        candidates.sort(reverse=True)
+        return [(a, b) for _, a, b in candidates[:max_new]]
+
+    def reroute_degraded(self, loss_threshold: float = 0.2) -> List[Tuple[str, str]]:
+        """Drop connections whose current path loss exceeds the threshold.
+
+        Models Section 2.1's "detect and avoid congested or temporarily
+        unstable areas"; the simulator's rewiring policy replaces dropped
+        connections with better-suited peers.
+        """
+        dropped = []
+        for u, v in list(self.graph.edges):
+            if self.physical is None:
+                continue
+            chars = self.physical.path_characteristics(u, v)
+            if chars.loss_rate > loss_threshold:
+                self.disconnect(u, v)
+                dropped.append((u, v))
+            else:
+                # refresh characteristics so bandwidth changes propagate
+                self.graph[u][v]["bandwidth"] = chars.bandwidth
+                self.graph[u][v]["loss_rate"] = chars.loss_rate
+        return dropped

@@ -1,0 +1,37 @@
+"""End-to-end prototype: the full informed-delivery protocol over bytes.
+
+Where :mod:`repro.delivery` simulates at the symbol-identity level, this
+subpackage runs the complete pipeline the paper's prototype implements:
+
+1. content is split into source blocks and fountain-encoded;
+2. peers exchange 1KB min-wise calling cards and estimate correlation;
+3. the receiver ships a Bloom summary (or an ART) of its working set;
+4. the sender runs an informed strategy (recoding real payloads);
+5. the receiver peels recoded symbols and decodes the file, and the
+   decoded bytes are verified against the original content.
+
+Every control and data byte is accounted, so the protocol overhead the
+paper argues is "at most a handful of packet payloads" is measurable.
+"""
+
+from repro.protocol.messages import (
+    ControlMessage,
+    DataMessage,
+    HelloMessage,
+    RequestMessage,
+    SummaryMessage,
+)
+from repro.protocol.peer import CodeParameters, ProtocolPeer
+from repro.protocol.session import SessionStats, TransferSession
+
+__all__ = [
+    "CodeParameters",
+    "ProtocolPeer",
+    "TransferSession",
+    "SessionStats",
+    "ControlMessage",
+    "HelloMessage",
+    "SummaryMessage",
+    "RequestMessage",
+    "DataMessage",
+]

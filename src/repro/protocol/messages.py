@@ -1,0 +1,109 @@
+"""Wire messages for the prototype protocol.
+
+Messages carry explicit byte-size accounting so sessions can report
+control overhead honestly.  Serialisation is deliberately simple (struct
+headers + raw payloads) — the point is faithful sizes, not wire-format
+innovation.
+"""
+
+import struct
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class: anything that is not file data."""
+
+    def wire_bytes(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class HelloMessage(ControlMessage):
+    """Calling card: working-set size plus the min-wise minima vector.
+
+    128 x 64-bit minima + 8-byte size header ≈ the paper's single 1KB
+    packet.
+    """
+
+    set_size: int
+    minima: Tuple[Optional[int], ...]
+
+    def wire_bytes(self) -> int:
+        return 8 + 8 * len(self.minima)
+
+
+@dataclass(frozen=True)
+class SummaryMessage(ControlMessage):
+    """Searchable summary: a serialised Bloom filter of the working set."""
+
+    filter_bytes: bytes
+    m_bits: int
+    k_hashes: int
+    seed: int
+
+    def wire_bytes(self) -> int:
+        return 12 + len(self.filter_bytes)
+
+
+@dataclass(frozen=True)
+class RequestMessage(ControlMessage):
+    """Receiver -> sender: how many symbols it wants (Section 6.1)."""
+
+    symbols_desired: int
+
+    def wire_bytes(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """One data packet: an encoded or recoded symbol with its payload.
+
+    ``constituent_ids`` is empty for plain encoded symbols (the single
+    ``symbol_id`` identifies the composition via the shared stream seed);
+    recoded symbols enumerate their constituents, paying header bytes
+    proportional to degree exactly as Section 5.4.2 describes.
+    """
+
+    symbol_id: Optional[int]
+    constituent_ids: FrozenSet[int]
+    payload: bytes
+
+    @property
+    def is_recoded(self) -> bool:
+        return bool(self.constituent_ids)
+
+    def wire_bytes(self) -> int:
+        header = 8 if not self.is_recoded else 2 + 8 * len(self.constituent_ids)
+        return header + len(self.payload)
+
+    def pack(self) -> bytes:
+        """Serialise (used by tests to pin the format)."""
+        if self.is_recoded:
+            ids: List[int] = sorted(self.constituent_ids)
+            return (
+                struct.pack("<H", len(ids))
+                + b"".join(struct.pack("<Q", i) for i in ids)
+                + self.payload
+            )
+        assert self.symbol_id is not None
+        return struct.pack("<Q", self.symbol_id) + self.payload
+
+    @classmethod
+    def unpack_encoded(cls, blob: bytes) -> "DataMessage":
+        """Parse a plain encoded-symbol packet."""
+        (symbol_id,) = struct.unpack_from("<Q", blob)
+        return cls(symbol_id=symbol_id, constituent_ids=frozenset(), payload=blob[8:])
+
+    @classmethod
+    def unpack_recoded(cls, blob: bytes) -> "DataMessage":
+        """Parse a recoded packet."""
+        (count,) = struct.unpack_from("<H", blob)
+        ids = struct.unpack_from(f"<{count}Q", blob, 2)
+        return cls(
+            symbol_id=None,
+            constituent_ids=frozenset(ids),
+            payload=blob[2 + 8 * count :],
+        )

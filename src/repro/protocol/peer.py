@@ -1,0 +1,220 @@
+"""Protocol peers: full sources and partial holders of real content.
+
+All peers in a session share :class:`CodeParameters` — the universally
+agreed code definition (block count/size, degree distribution seed,
+stream seed) that makes symbol ids globally meaningful, just as the
+min-wise permutation family is agreed off-line.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.coding import (
+    DegreeDistribution,
+    EncodedSymbol,
+    LTEncoder,
+    PeelingDecoder,
+    RecodedPeeler,
+)
+from repro.coding.recode import DEFAULT_MAX_RECODE_DEGREE
+from repro.delivery.working_set import WorkingSet
+from repro.hashing.permutations import PermutationFamily
+from repro.protocol.messages import DataMessage, HelloMessage, SummaryMessage
+from repro.sketches import MinwiseSketch
+from repro.sketches.estimate import intersection_from_resemblance
+
+
+@dataclass(frozen=True)
+class CodeParameters:
+    """The session-wide code agreement."""
+
+    num_blocks: int
+    block_size: int
+    stream_seed: int = 0
+    decoding_overhead: float = 0.07
+    sketch_entries: int = 128
+    sketch_seed: int = 99
+
+    @property
+    def recovery_target(self) -> int:
+        """Distinct symbols a receiver should gather before decoding."""
+        import math
+
+        return int(math.ceil(self.num_blocks * (1.0 + self.decoding_overhead)))
+
+    def encoder_for(self, content: bytes) -> LTEncoder:
+        """Build the canonical encoder for this agreement."""
+        return LTEncoder.from_content(
+            content, self.block_size, stream_seed=self.stream_seed
+        )
+
+    def structure_encoder(self) -> LTEncoder:
+        """Payload-free encoder exposing the shared symbol structure."""
+        return LTEncoder(self.num_blocks, stream_seed=self.stream_seed)
+
+    def sketch_family(self) -> PermutationFamily:
+        """The universally agreed min-wise family."""
+        return PermutationFamily(
+            self.sketch_entries, 1 << 32, seed=self.sketch_seed
+        )
+
+
+class ProtocolPeer:
+    """A peer holding (some of) the encoded content, with real payloads."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        params: CodeParameters,
+        content: Optional[bytes] = None,
+        initial_symbols: Iterable[EncodedSymbol] = (),
+        rng: Optional[random.Random] = None,
+    ):
+        self.peer_id = peer_id
+        self.params = params
+        self.rng = rng or random.Random()
+        self.is_source = content is not None
+        self._encoder: Optional[LTEncoder] = None
+        self._next_fresh = 0
+        if content is not None:
+            self._encoder = params.encoder_for(content)
+            if self._encoder.num_blocks != params.num_blocks:
+                raise ValueError(
+                    "content does not match the agreed block count: "
+                    f"{self._encoder.num_blocks} != {params.num_blocks}"
+                )
+        self.symbols: Dict[int, EncodedSymbol] = {
+            s.symbol_id: s for s in initial_symbols
+        }
+        self.working_set = WorkingSet(self.symbols)
+        self._peeler = RecodedPeeler(
+            known_ids=self.symbols,
+            payloads={i: s.payload for i, s in self.symbols.items() if s.payload},
+        )
+        self._structure = params.structure_encoder()
+        self.decoder = PeelingDecoder(params.num_blocks, track_payloads=True)
+        for s in self.symbols.values():
+            if s.payload is not None:
+                self.decoder.add_symbol(s)
+
+    # -- calling cards ------------------------------------------------------
+
+    def hello(self) -> HelloMessage:
+        """The 1KB calling card for this peer's working set."""
+        family = self.params.sketch_family()
+        sketch = MinwiseSketch.build(
+            (i % family.universe_size for i in self.working_set), family
+        )
+        return HelloMessage(
+            set_size=len(self.working_set), minima=tuple(sketch.minima)
+        )
+
+    def estimate_peer_correlation(self, hello: HelloMessage) -> float:
+        """``|ours ∩ theirs| / |ours|`` estimated from calling cards."""
+        if len(self.working_set) == 0:
+            return 0.0
+        family = self.params.sketch_family()
+        ours = MinwiseSketch.build(
+            (i % family.universe_size for i in self.working_set), family
+        )
+        theirs = MinwiseSketch.from_minima(family, hello.minima, hello.set_size)
+        r = ours.estimate_resemblance(theirs)
+        inter = intersection_from_resemblance(r, len(self.working_set), hello.set_size)
+        return min(1.0, inter / len(self.working_set))
+
+    def summary(self, bits_per_element: int = 8) -> SummaryMessage:
+        """Bloom summary of the working set, serialised for the wire."""
+        bf = self.working_set.bloom_summary(bits_per_element=bits_per_element)
+        return SummaryMessage(
+            filter_bytes=bf.to_bytes(), m_bits=bf.m, k_hashes=bf.k, seed=bf.seed
+        )
+
+    # -- receiving -----------------------------------------------------------
+
+    def receive_data(self, msg: DataMessage) -> List[int]:
+        """Ingest one data packet; returns newly recovered symbol ids."""
+        if msg.is_recoded:
+            from repro.coding.symbol import RecodedSymbol
+
+            recovered = self._peeler.add_recoded(
+                RecodedSymbol(msg.constituent_ids, msg.payload)
+            )
+        else:
+            assert msg.symbol_id is not None
+            recovered = self._peeler.add_encoded(msg.symbol_id, msg.payload)
+        for symbol_id in recovered:
+            payload = self._peeler.payload_of(symbol_id)
+            symbol = EncodedSymbol(
+                symbol_id, self._structure.neighbours(symbol_id), payload
+            )
+            self.symbols[symbol_id] = symbol
+            self.working_set.add(symbol_id)
+            if payload is not None:
+                self.decoder.add_symbol(symbol)
+        return recovered
+
+    @property
+    def blocks_recovered(self) -> int:
+        return self.decoder.recovered_count
+
+    @property
+    def has_decoded(self) -> bool:
+        return self.decoder.is_complete
+
+    def try_finalize_decode(self) -> bool:
+        """Attempt the Gaussian fallback to finish a stalled decode.
+
+        Worth calling once the working set reaches the recovery target;
+        returns True if the file is now fully decoded.
+        """
+        if not self.decoder.is_complete:
+            self.decoder.solve_remaining()
+        return self.decoder.is_complete
+
+    def decoded_content(self, original_length: Optional[int] = None) -> bytes:
+        """The reassembled file (raises if decoding is incomplete)."""
+        return self.decoder.decoded_content(trim_to=original_length)
+
+    # -- sending ---------------------------------------------------------------
+
+    def fresh_data(self) -> DataMessage:
+        """Sources: mint a brand-new encoded symbol."""
+        if self._encoder is None:
+            raise RuntimeError(f"{self.peer_id} holds only partial content")
+        symbol = self._encoder.symbol(self._next_fresh)
+        self._next_fresh += 1
+        assert symbol.payload is not None
+        return DataMessage(
+            symbol_id=symbol.symbol_id,
+            constituent_ids=frozenset(),
+            payload=symbol.payload,
+        )
+
+    def recoded_data(
+        self,
+        domain_ids: Optional[List[int]] = None,
+        max_degree: int = DEFAULT_MAX_RECODE_DEGREE,
+    ) -> DataMessage:
+        """Partial senders: blend held symbols into one recoded packet."""
+        pool = domain_ids if domain_ids else list(self.symbols)
+        if not pool:
+            raise RuntimeError(f"{self.peer_id} has nothing to send")
+        dist = DegreeDistribution.recoding_soliton(len(pool), max_degree=max_degree)
+        degree = min(dist.sample(self.rng), len(pool))
+        chosen = self.rng.sample(pool, degree)
+        from repro.coding.symbol import xor_payloads
+
+        payloads = [self.symbols[i].payload for i in chosen]
+        if any(p is None for p in payloads):
+            raise RuntimeError("cannot recode payload-free symbols")
+        if degree == 1:
+            return DataMessage(
+                symbol_id=chosen[0], constituent_ids=frozenset(),
+                payload=payloads[0],  # type: ignore[arg-type]
+            )
+        return DataMessage(
+            symbol_id=None,
+            constituent_ids=frozenset(chosen),
+            payload=xor_payloads(payloads),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,241 @@
+"""Transfer sessions: the full protocol between two (or more) peers.
+
+A session wires peers together in memory, runs the handshake, picks the
+strategy the estimated correlation warrants, streams data packets, and
+accounts every byte.  :meth:`TransferSession.run` drives the loop to
+completion or byte budget exhaustion.
+"""
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.filters import BloomFilter
+from repro.protocol.messages import DataMessage, RequestMessage
+from repro.protocol.peer import ProtocolPeer
+
+#: Correlation above which a receiver should reject the sender outright
+#: (Section 4's admission control: identical content offers nothing).
+REJECT_CORRELATION = 0.98
+
+#: Correlation above which shipping a Bloom summary pays for itself —
+#: below this, oblivious recoding already wastes few packets.
+SUMMARY_CORRELATION = 0.05
+
+
+@dataclass
+class SessionStats:
+    """Byte and packet accounting for one session."""
+
+    control_bytes: int = 0
+    data_bytes: int = 0
+    data_packets: int = 0
+    useful_packets: int = 0
+    rejected: bool = False
+    used_summary: bool = False
+    estimated_correlation: float = 0.0
+    completed: bool = False
+
+    @property
+    def control_fraction(self) -> float:
+        """Control overhead as a fraction of total bytes."""
+        total = self.control_bytes + self.data_bytes
+        return self.control_bytes / total if total else 0.0
+
+
+class TransferSession:
+    """One sender serving one receiver with the informed protocol."""
+
+    def __init__(
+        self,
+        sender: ProtocolPeer,
+        receiver: ProtocolPeer,
+        bloom_bits_per_element: int = 8,
+        partitioned_rho: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
+        """Args:
+            sender/receiver: the two peers (shared code parameters).
+            bloom_bits_per_element: summary budget.
+            partitioned_rho: when > 0, use the Section 5.2 "scaling up"
+                pipeline — the receiver's summary is shipped one residue
+                partition at a time, and the sender's useful domain grows
+                as partitions arrive (for working sets too large to
+                summarise in one message).
+            rng: randomness source.
+        """
+        if sender.params != receiver.params:
+            raise ValueError("peers must share code parameters")
+        if partitioned_rho < 0:
+            raise ValueError("partition count must be non-negative")
+        self.sender = sender
+        self.receiver = receiver
+        self.bloom_bits = bloom_bits_per_element
+        self.partitioned_rho = partitioned_rho
+        self.rng = rng or random.Random()
+        self.stats = SessionStats()
+        self._domain: Optional[List[int]] = None
+        self._partition_stream = None
+        self._next_partition = 0
+
+    # -- handshake ------------------------------------------------------------
+
+    def handshake(self) -> bool:
+        """Exchange calling cards; decide whether and how to proceed.
+
+        Returns False if the receiver rejects the sender (identical
+        content).  On success, a Bloom summary is shipped when the
+        estimated correlation warrants fine-grained reconciliation.
+        """
+        hello_r = self.receiver.hello()
+        hello_s = self.sender.hello()
+        self.stats.control_bytes += hello_r.wire_bytes() + hello_s.wire_bytes()
+
+        if not self.sender.is_source:
+            corr = self.sender.estimate_peer_correlation(hello_r)
+            self.stats.estimated_correlation = corr
+            if corr >= REJECT_CORRELATION and len(self.sender.working_set) <= len(
+                self.receiver.working_set
+            ):
+                self.stats.rejected = True
+                return False
+            if corr >= SUMMARY_CORRELATION:
+                self._receive_summary()
+        self._send_request()
+        return True
+
+    def _receive_summary(self) -> None:
+        """Receiver ships its summary; sender filters its domain.
+
+        With ``partitioned_rho`` set, only the first residue partition is
+        shipped here; further partitions arrive on demand via
+        :meth:`request_next_partition` as the sender drains its domain.
+        """
+        if self.partitioned_rho > 1:
+            from repro.filters import PartitionedSummaryStream
+
+            self._partition_stream = PartitionedSummaryStream(
+                self.receiver.working_set.ids,
+                rho=self.partitioned_rho,
+                bits_per_element=self.bloom_bits,
+                seed=17,
+            )
+            self._domain = []
+            self.request_next_partition()
+            self.stats.used_summary = True
+            return
+        msg = self.receiver.summary(bits_per_element=self.bloom_bits)
+        self.stats.control_bytes += msg.wire_bytes()
+        bf = BloomFilter.from_bytes(
+            msg.filter_bytes, msg.m_bits, msg.k_hashes, msg.seed
+        )
+        self._domain = [i for i in self.sender.symbols if i not in bf]
+        self.stats.used_summary = True
+
+    def request_next_partition(self) -> bool:
+        """Pull one more partition filter (pipelined summaries, §5.2).
+
+        Returns False when every partition has been consumed.
+        """
+        if self._partition_stream is None:
+            return False
+        if self._next_partition >= self.partitioned_rho:
+            return False
+        pf = self._partition_stream.filter_for(self._next_partition)
+        self._next_partition += 1
+        self.stats.control_bytes += pf.size_bytes()
+        assert self._domain is not None
+        self._domain.extend(
+            pf.missing_from(i for i in self.sender.symbols)
+        )
+        return True
+
+    def _send_request(self) -> None:
+        """Receiver states how many symbols it wants (Section 6.1)."""
+        deficit = max(
+            0, self.receiver.params.recovery_target - len(self.receiver.working_set)
+        )
+        desired = int(math.ceil(deficit * 1.15))
+        msg = RequestMessage(symbols_desired=desired)
+        self.stats.control_bytes += msg.wire_bytes()
+        if self._domain is not None and desired and len(self._domain) > desired:
+            self._domain = self.rng.sample(self._domain, desired)
+
+    # -- transfer ---------------------------------------------------------------
+
+    def _domain_exhausted(self) -> bool:
+        """True when the receiver already holds every domain symbol.
+
+        Blending over a fully delivered domain can only produce redundant
+        packets; pipelined sessions use this signal to pull the next
+        partition, plain sessions to stop.
+        """
+        if self._domain is None:
+            return False
+        if not self._domain:
+            return True
+        held = self.receiver.working_set
+        return all(i in held for i in self._domain)
+
+    def send_one(self) -> DataMessage:
+        """Sender composes and transmits one data packet."""
+        if self.sender.is_source:
+            msg = self.sender.fresh_data()
+        else:
+            msg = self.sender.recoded_data(domain_ids=self._domain)
+        self.stats.data_packets += 1
+        self.stats.data_bytes += msg.wire_bytes()
+        if self.receiver.receive_data(msg):
+            self.stats.useful_packets += 1
+        return msg
+
+    def run(
+        self,
+        max_packets: Optional[int] = None,
+        until_decoded: bool = True,
+    ) -> SessionStats:
+        """Handshake then stream until the receiver decodes (or cap).
+
+        Args:
+            max_packets: data-packet budget (default: generous multiple
+                of the recovery target).
+            until_decoded: stop at full decode; False stops when the
+                receiver merely reaches its recovery target of distinct
+                symbols.
+        """
+        if not self.handshake():
+            return self.stats
+        target = self.receiver.params.recovery_target
+        if max_packets is None:
+            max_packets = 40 * target
+        sent = 0
+        next_finalize = target
+        while sent < max_packets:
+            if until_decoded and self.receiver.has_decoded:
+                break
+            if not until_decoded and len(self.receiver.working_set) >= target:
+                break
+            if (
+                not self.sender.is_source
+                and self._domain is not None
+                and self._domain_exhausted()
+            ):
+                # Pipelined mode can pull another partition; otherwise
+                # the sender genuinely has nothing useful left.
+                if not self.request_next_partition() or self._domain_exhausted():
+                    break
+            self.send_one()
+            sent += 1
+            if until_decoded and len(self.receiver.working_set) >= next_finalize:
+                # Past the nominal target: try the Gaussian fallback, and
+                # if still short, retry after ~1% more symbols arrive.
+                if self.receiver.try_finalize_decode():
+                    break
+                next_finalize += max(1, target // 100)
+        self.stats.completed = (
+            self.receiver.has_decoded
+            if until_decoded
+            else len(self.receiver.working_set) >= target
+        )
+        return self.stats

@@ -1,0 +1,90 @@
+"""Mod-k sampling similarity estimation (Section 4, second approach).
+
+Sample the elements whose (random) key is ``0 mod k``.  Because both peers
+apply the same rule, element ``x`` appears in A's sample iff it appears in
+B's sample whenever both hold ``x`` — so all computation happens on the two
+small samples, unlike plain random sampling.  ``|A_k ∩ B_k| / |B_k|`` is an
+unbiased estimate of ``|A_F ∩ B_F| / |B_F|``.
+
+The paper flags the practical wart that sample size is variable (binomial
+around ``n/k``), which matters because packets have a maximum size; we
+expose :meth:`ModKSketch.truncated` to model the clipping a real
+implementation would apply.
+"""
+
+from typing import FrozenSet, Iterable
+
+from repro.hashing.mix import mix64
+
+
+class ModKSketch:
+    """Deterministic sample ``{x in S : key(x) ≡ 0 (mod k)}``.
+
+    Two sketches are comparable iff they used the same modulus and the same
+    key-randomising seed.
+    """
+
+    def __init__(self, sample: Iterable[int], modulus: int, seed: int = 0):
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        self.sample: FrozenSet[int] = frozenset(sample)
+        self.modulus = modulus
+        self.seed = seed
+
+    @classmethod
+    def build(
+        cls, working_set: Iterable[int], modulus: int, seed: int = 0
+    ) -> "ModKSketch":
+        """Select the elements whose randomised key is 0 mod ``modulus``.
+
+        Keys are passed through :func:`~repro.hashing.mix.mix64` first, per
+        the paper's standing assumption that keys are random.
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        sample = (x for x in working_set if mix64(x, seed) % modulus == 0)
+        return cls(sample, modulus, seed)
+
+    def __len__(self) -> int:
+        return len(self.sample)
+
+    def _check_comparable(self, other: "ModKSketch") -> None:
+        if self.modulus != other.modulus or self.seed != other.seed:
+            raise ValueError(
+                "mod-k sketches are only comparable with identical modulus and seed"
+            )
+
+    def estimate_containment(self, other: "ModKSketch") -> float:
+        """Estimate ``|A ∩ B| / |B|`` where ``self`` is A and ``other`` is B.
+
+        Raises if B's sample is empty (no basis for an estimate).
+        """
+        self._check_comparable(other)
+        if not other.sample:
+            raise ValueError("cannot estimate containment against an empty sample")
+        return len(self.sample & other.sample) / len(other.sample)
+
+    def estimate_resemblance(self, other: "ModKSketch") -> float:
+        """Estimate ``|A ∩ B| / |A ∪ B|`` from the two samples."""
+        self._check_comparable(other)
+        union = len(self.sample | other.sample)
+        if union == 0:
+            return 0.0
+        return len(self.sample & other.sample) / union
+
+    def truncated(self, max_elements: int) -> "ModKSketch":
+        """Clip to the ``max_elements`` smallest sampled keys (packet limit).
+
+        Keeping the *smallest* mixed keys on both sides preserves
+        comparability (both peers clip the same deterministic order), which
+        is exactly the trick that turns mod-k sampling into a bottom-k
+        sketch.
+        """
+        if max_elements < 0:
+            raise ValueError("max_elements must be non-negative")
+        keep = sorted(self.sample, key=lambda x: mix64(x, self.seed))[:max_elements]
+        return ModKSketch(keep, self.modulus, self.seed)
+
+    def packet_size_bytes(self, key_bits: int = 64) -> int:
+        """Wire size of the sample in bytes."""
+        return 4 + (key_bits // 8) * len(self.sample)

@@ -1,0 +1,70 @@
+"""Random-sampling similarity estimation (Section 4, first approach).
+
+Peer A selects ``k`` elements of its working set uniformly at random (with
+replacement) and ships their keys.  Peer B looks each key up in its own set:
+the hit fraction is an unbiased estimate of ``|A_F ∩ B_F| / |A_F|`` — i.e.
+how much of *A's* content B already holds.  (Symmetrically, B receiving the
+sample estimates what fraction of A's symbols would be redundant to send.)
+
+The paper notes two drawbacks that our API surfaces honestly: the receiver
+must search its whole set (O(k) hash lookups here, the data-structure
+maintenance the paper worries about being Python's built-in ``set``), and
+samples from two *other* peers cannot be compared with each other.
+"""
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set
+
+
+class RandomSampleSketch:
+    """A ``k``-element random sample of a working set, plus its size.
+
+    Attributes:
+        sample: the sampled keys (with replacement, so duplicates possible).
+        set_size: ``|A_F|`` of the summarised set; the paper sends this
+            optionally, and the containment conversions need it.
+    """
+
+    def __init__(self, sample: Sequence[int], set_size: int):
+        if set_size < 0:
+            raise ValueError("set size must be non-negative")
+        if set_size == 0 and sample:
+            raise ValueError("empty set cannot produce a non-empty sample")
+        self.sample: List[int] = list(sample)
+        self.set_size = set_size
+
+    @classmethod
+    def build(
+        cls,
+        working_set: Iterable[int],
+        k: int,
+        rng: Optional[random.Random] = None,
+    ) -> "RandomSampleSketch":
+        """Sample ``k`` keys (with replacement) from ``working_set``."""
+        if k < 0:
+            raise ValueError("sample size must be non-negative")
+        rng = rng or random.Random()
+        pool = list(working_set)
+        if not pool:
+            return cls([], 0)
+        return cls([rng.choice(pool) for _ in range(k)], len(pool))
+
+    def __len__(self) -> int:
+        return len(self.sample)
+
+    def estimate_containment_in(self, other_set: Set[int]) -> float:
+        """Fraction of the sampled set already present in ``other_set``.
+
+        This is the unbiased estimate of ``|A ∩ B| / |A|`` where ``A`` is the
+        sketched set and ``B`` is ``other_set``.  Raises if the sample is
+        empty — an estimate from zero observations is meaningless and the
+        paper's protocol never sends one.
+        """
+        if not self.sample:
+            raise ValueError("cannot estimate from an empty sample")
+        hits = sum(1 for key in self.sample if key in other_set)
+        return hits / len(self.sample)
+
+    def packet_size_bytes(self, key_bits: int = 64) -> int:
+        """Wire size: keys plus a 4-byte set-size header (paper: ~1KB)."""
+        return 4 + (key_bits // 8) * len(self.sample)

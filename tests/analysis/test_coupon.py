@@ -1,0 +1,103 @@
+"""Tests for coupon-collector closed forms, validated against simulation."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    expected_draws_to_collect,
+    expected_random_strategy_overhead,
+    harmonic,
+)
+from repro.delivery import (
+    SimReceiver,
+    make_pair_scenario,
+    make_strategy,
+    simulate_p2p_transfer,
+)
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_asymptotic_continuity(self):
+        # The exact and asymptotic branches must agree at the switchover.
+        import math
+
+        exact = math.fsum(1.0 / i for i in range(1, 301))
+        assert harmonic(300) == pytest.approx(exact, abs=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestExpectedDraws:
+    def test_classic_coupon_collector(self):
+        # Collect all of N: N * H_N.
+        n = 50
+        assert expected_draws_to_collect(n, n, n) == pytest.approx(n * harmonic(n))
+
+    def test_zero_needed(self):
+        assert expected_draws_to_collect(100, 50, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_draws_to_collect(0, 0, 0)
+        with pytest.raises(ValueError):
+            expected_draws_to_collect(10, 5, 6)
+        with pytest.raises(ValueError):
+            expected_draws_to_collect(10, 11, 1)
+
+    def test_matches_monte_carlo(self):
+        rng = random.Random(1)
+        pool, useful, needed = 100, 60, 40
+        trials = []
+        for _ in range(300):
+            seen = set()
+            draws = 0
+            while len(seen) < needed:
+                draws += 1
+                x = rng.randrange(pool)
+                if x < useful:
+                    seen.add(x)
+            trials.append(draws)
+        expected = expected_draws_to_collect(pool, useful, needed)
+        assert sum(trials) / len(trials) == pytest.approx(expected, rel=0.05)
+
+
+class TestRandomStrategyPrediction:
+    def test_prediction_matches_simulation(self):
+        """Closed form predicts the Figure 5 Random curve."""
+        target, mult, corr = 800, 1.1, 0.3
+        sims = []
+        for rep in range(4):
+            rng = random.Random(100 + rep)
+            sc = make_pair_scenario(target, mult, corr, rng)
+            recv = SimReceiver(sc.receiver.ids, sc.target)
+            strat = make_strategy("Random", sc.sender, sc.receiver, rng)
+            res = simulate_p2p_transfer(recv, strat)
+            assert res.completed
+            sims.append(res.overhead)
+        sim_mean = sum(sims) / len(sims)
+        predicted = expected_random_strategy_overhead(
+            sender_size=int(mult * target) - int(mult * target) // 2
+            + round(corr * (int(mult * target) - int(mult * target) // 2) / (1 - corr)),
+            correlation=corr,
+            needed=target - int(mult * target) // 2,
+        )
+        assert sim_mean == pytest.approx(predicted, rel=0.15)
+
+    def test_overhead_monotone_in_correlation(self):
+        vals = [
+            expected_random_strategy_overhead(1000, c, 400)
+            for c in (0.0, 0.2, 0.4)
+        ]
+        assert vals == sorted(vals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_random_strategy_overhead(100, 1.0, 10)

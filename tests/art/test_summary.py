@@ -1,0 +1,66 @@
+"""Tests for ART summaries (exact and Bloom-filtered)."""
+
+import random
+
+import pytest
+
+from repro.art import ARTSummary, ExactTreeSummary, ReconciliationTrie
+
+
+class TestExactSummary:
+    def test_matches_own_values(self):
+        trie = ReconciliationTrie(range(200), seed=1)
+        s = ExactTreeSummary(trie)
+        for v in trie.internal_values():
+            assert s.matches_internal(v)
+        for v in trie.leaf_values():
+            assert s.matches_leaf(v)
+
+    def test_does_not_match_foreign_values(self):
+        trie = ReconciliationTrie(range(200), seed=1)
+        s = ExactTreeSummary(trie)
+        assert not s.matches_leaf(123456789)
+
+    def test_size_accounting(self):
+        trie = ReconciliationTrie(range(100), seed=1)
+        s = ExactTreeSummary(trie)
+        internal, leaves = trie.node_count()
+        assert s.size_bytes() == 8 * (internal + leaves)
+
+
+class TestARTSummary:
+    def test_no_false_negatives_on_node_values(self):
+        trie = ReconciliationTrie(random.Random(1).sample(range(1 << 40), 500), seed=2)
+        s = ARTSummary(trie, bits_per_element=8)
+        assert all(s.matches_internal(v) for v in trie.internal_values())
+        assert all(s.matches_leaf(v) for v in trie.leaf_values())
+
+    def test_size_respects_budget(self):
+        trie = ReconciliationTrie(range(1000), seed=3)
+        s = ARTSummary(trie, bits_per_element=8)
+        # 8 bits/elt over 1000 elements = 1000 bytes total (±rounding).
+        assert abs(s.size_bytes() - 1000) <= 16
+
+    def test_leaf_split_controls_relative_sizes(self):
+        trie = ReconciliationTrie(range(1000), seed=4)
+        mostly_leaf = ARTSummary(trie, bits_per_element=8, leaf_bits_per_element=6)
+        mostly_internal = ARTSummary(trie, bits_per_element=8, leaf_bits_per_element=2)
+        assert mostly_leaf._leaf_filter.m > mostly_internal._leaf_filter.m
+
+    def test_invalid_budgets_rejected(self):
+        trie = ReconciliationTrie(range(10), seed=5)
+        with pytest.raises(ValueError):
+            ARTSummary(trie, bits_per_element=0)
+        with pytest.raises(ValueError):
+            ARTSummary(trie, bits_per_element=8, leaf_bits_per_element=8)
+        with pytest.raises(ValueError):
+            ARTSummary(trie, bits_per_element=8, leaf_bits_per_element=0)
+
+    def test_more_bits_fewer_false_positives(self):
+        trie = ReconciliationTrie(random.Random(6).sample(range(1 << 40), 2000), seed=6)
+        small = ARTSummary(trie, bits_per_element=2)
+        large = ARTSummary(trie, bits_per_element=12)
+        probes = random.Random(7).sample(range(1 << 50, 1 << 51), 3000)
+        fp_small = sum(small.matches_leaf(p) for p in probes)
+        fp_large = sum(large.matches_leaf(p) for p in probes)
+        assert fp_large < fp_small

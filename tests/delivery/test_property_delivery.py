@@ -1,0 +1,97 @@
+"""Property-based tests for delivery invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delivery import (
+    Packet,
+    SimReceiver,
+    make_multi_sender_scenario,
+    make_pair_scenario,
+    make_strategy,
+    simulate_p2p_transfer,
+)
+from repro.delivery.scenarios import max_pair_correlation
+
+
+class TestReceiverInvariants:
+    @given(
+        initial=st.sets(st.integers(min_value=0, max_value=500), max_size=50),
+        packets=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=500),
+                st.sets(st.integers(min_value=0, max_value=500),
+                        min_size=1, max_size=4),
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_known_count_monotone_and_consistent(self, initial, packets):
+        recv = SimReceiver(initial, target=1000)
+        last = recv.known_count
+        for p in packets:
+            packet = (
+                Packet.encoded(p) if isinstance(p, int)
+                else Packet.recoded(frozenset(p))
+            )
+            recovered = recv.receive(packet)
+            assert recv.known_count >= last
+            assert recv.known_count == last + len(recovered)
+            last = recv.known_count
+        # Everything known is from the initial set or some packet.
+        mentioned = set(initial)
+        for p in packets:
+            mentioned |= {p} if isinstance(p, int) else set(p)
+        assert recv.known_ids <= mentioned
+
+
+class TestScenarioProperties:
+    @given(
+        target=st.integers(min_value=100, max_value=800),
+        mult=st.sampled_from([1.1, 1.3, 1.5]),
+        corr_frac=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pair_scenario_realises_request(self, target, mult, corr_frac, seed):
+        corr = max_pair_correlation(mult) * corr_frac
+        sc = make_pair_scenario(target, mult, corr, random.Random(seed))
+        assert len(sc.sender) <= target  # partial peers never exceed n
+        assert len(sc.receiver) <= target
+        union = sc.receiver.ids | sc.sender.ids
+        assert len(union) >= target  # transfer is actually completable
+        if len(sc.sender):
+            realised = len(sc.receiver.ids & sc.sender.ids) / len(sc.sender)
+            assert abs(realised - corr) < 0.05
+
+    @given(
+        senders=st.integers(min_value=1, max_value=5),
+        corr=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multi_sender_symbols_shared_or_unique(self, senders, corr, seed):
+        sc = make_multi_sender_scenario(400, 1.2, corr, senders, random.Random(seed))
+        all_sets = [sc.receiver.ids] + [s.ids for s in sc.senders]
+        shared = set.intersection(*all_sets)
+        for sym in set.union(*all_sets):
+            holders = sum(1 for s in all_sets if sym in s)
+            assert holders == len(all_sets) or holders == 1 or sym in shared
+
+
+class TestTransferConservation:
+    @given(seed=st.integers(min_value=0, max_value=2_000),
+           name=st.sampled_from(["Random", "Random/BF", "Recode", "Recode/BF",
+                                 "Recode/MW"]))
+    @settings(max_examples=25, deadline=None)
+    def test_receiver_learns_only_sender_symbols(self, seed, name):
+        rng = random.Random(seed)
+        sc = make_pair_scenario(200, 1.1, 0.2, rng)
+        recv = SimReceiver(sc.receiver.ids, sc.target)
+        strat = make_strategy(name, sc.sender, sc.receiver, rng,
+                              symbols_desired=sc.target - len(sc.receiver))
+        simulate_p2p_transfer(recv, strat, max_packets=3_000)
+        assert recv.known_ids <= sc.receiver.ids | sc.sender.ids

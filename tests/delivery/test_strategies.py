@@ -1,0 +1,135 @@
+"""Tests for the five Section 6.2 sender strategies."""
+
+import random
+
+import pytest
+
+from repro.delivery import (
+    STRATEGY_NAMES,
+    RandomBFStrategy,
+    RandomStrategy,
+    RecodeBFStrategy,
+    RecodeMWStrategy,
+    RecodeStrategy,
+    WorkingSet,
+    make_strategy,
+)
+
+
+def sets_with_overlap(sender_size=300, overlap=100, seed=1):
+    rng = random.Random(seed)
+    pool = rng.sample(range(1 << 30), 2 * sender_size - overlap)
+    sender = WorkingSet(pool[:sender_size])
+    receiver = WorkingSet(pool[sender_size - overlap :])
+    return sender, receiver, rng
+
+
+class TestRandomStrategy:
+    def test_packets_from_working_set(self):
+        sender, _, rng = sets_with_overlap()
+        s = RandomStrategy(sender, rng)
+        for _ in range(50):
+            p = s.next_packet()
+            assert not p.is_recoded
+            assert p.encoded_id in sender
+
+    def test_empty_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(WorkingSet())
+
+    def test_with_replacement(self):
+        # Stateless senders may repeat symbols (Section 2.2).
+        sender = WorkingSet([1, 2, 3])
+        s = RandomStrategy(sender, random.Random(2))
+        ids = [s.next_packet().encoded_id for _ in range(30)]
+        assert len(set(ids)) <= 3
+        assert len(ids) == 30
+
+
+class TestRandomBF:
+    def test_filtered_pool_excludes_receiver_symbols(self):
+        sender, receiver, rng = sets_with_overlap()
+        bf = receiver.bloom_summary(bits_per_element=10)
+        s = RandomBFStrategy(sender, bf, rng)
+        for _ in range(100):
+            p = s.next_packet()
+            # Guarantee: never sends a symbol the receiver definitely has
+            # (Bloom has no false negatives, so receiver ids always hit).
+            assert p.encoded_id not in receiver
+
+    def test_filtered_out_counter(self):
+        sender, receiver, rng = sets_with_overlap(overlap=150)
+        s = RandomBFStrategy(sender, receiver.bloom_summary(), rng)
+        assert s.filtered_out >= 150  # overlap + any false positives
+
+    def test_identical_sets_fall_back_to_random(self):
+        ws = WorkingSet(range(100))
+        s = RandomBFStrategy(ws, ws.bloom_summary(), random.Random(3))
+        p = s.next_packet()  # must not stall or raise
+        assert p.encoded_id in ws
+
+
+class TestRecodeStrategies:
+    def test_recode_blends_held_symbols(self):
+        sender, _, rng = sets_with_overlap()
+        s = RecodeStrategy(sender, rng)
+        for _ in range(50):
+            p = s.next_packet()
+            assert p.is_recoded
+            assert p.recoded_ids <= sender.ids
+
+    def test_recode_bf_domain_excludes_receiver(self):
+        sender, receiver, rng = sets_with_overlap()
+        s = RecodeBFStrategy(sender, receiver.bloom_summary(), rng=rng)
+        for _ in range(50):
+            p = s.next_packet()
+            assert all(i not in receiver for i in p.recoded_ids)
+
+    def test_recode_bf_domain_limit(self):
+        sender, receiver, rng = sets_with_overlap()
+        s = RecodeBFStrategy(
+            sender, receiver.bloom_summary(), symbols_desired=50, rng=rng
+        )
+        domain = set()
+        for _ in range(300):
+            domain |= s.next_packet().recoded_ids
+        assert len(domain) <= 50
+
+    def test_recode_mw_degrees_grow_with_correlation(self):
+        sender, _, rng = sets_with_overlap(sender_size=400)
+        low = RecodeMWStrategy(sender, 0.1, random.Random(5))
+        high = RecodeMWStrategy(sender, 0.8, random.Random(5))
+        deg_low = sum(len(low.next_packet().recoded_ids) for _ in range(200))
+        deg_high = sum(len(high.next_packet().recoded_ids) for _ in range(200))
+        assert deg_high > deg_low
+
+    def test_recode_mw_invalid_correlation(self):
+        sender, _, _ = sets_with_overlap()
+        with pytest.raises(ValueError):
+            RecodeMWStrategy(sender, 1.5)
+
+    def test_degree_cap_50(self):
+        sender, _, rng = sets_with_overlap(sender_size=500)
+        s = RecodeMWStrategy(sender, 0.95, rng)
+        assert all(len(s.next_packet().recoded_ids) <= 50 for _ in range(100))
+
+
+class TestFactory:
+    def test_all_names_constructible(self):
+        sender, receiver, rng = sets_with_overlap()
+        for name in STRATEGY_NAMES:
+            s = make_strategy(name, sender, receiver, rng)
+            assert s.name == name
+            s.next_packet()
+
+    def test_unknown_name_rejected(self):
+        sender, receiver, rng = sets_with_overlap()
+        with pytest.raises(ValueError):
+            make_strategy("Telepathy", sender, receiver, rng)
+
+    def test_mw_uses_provided_estimate(self):
+        sender, receiver, rng = sets_with_overlap()
+        s = make_strategy(
+            "Recode/MW", sender, receiver, rng, correlation_estimate=0.42
+        )
+        assert s.estimated_correlation == 0.42

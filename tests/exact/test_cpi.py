@@ -1,0 +1,115 @@
+"""Tests for characteristic-polynomial reconciliation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.cpi import (
+    CharacteristicPolynomialReconciler,
+    DiscrepancyExceeded,
+    _poly_gcd,
+)
+
+
+class TestCPIBasics:
+    def test_simple_difference(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=10, seed=1)
+        sa = {1, 2, 3, 4, 5}
+        sb = {4, 5, 6, 7}
+        assert rec.difference(rec.sketch(sa), sb) == {6, 7}
+
+    def test_identical_sets(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=6, seed=2)
+        s = set(range(100, 150))
+        assert rec.difference(rec.sketch(s), s) == set()
+
+    def test_disjoint_small_sets(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=8, seed=3)
+        sa = {10, 20, 30}
+        sb = {40, 50, 60}
+        assert rec.difference(rec.sketch(sa), sb) == sb
+
+    def test_empty_a(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=6, seed=4)
+        sb = {1, 2, 3}
+        assert rec.difference(rec.sketch(set()), sb) == sb
+
+    def test_empty_b(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=6, seed=5)
+        assert rec.difference(rec.sketch({1, 2, 3}), set()) == set()
+
+    def test_unequal_sizes(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=12, seed=6)
+        sa = set(range(1000, 1010))  # |A| = 10
+        sb = set(range(1005, 1008))  # subset of A, discrepancy = 7
+        assert rec.difference(rec.sketch(sa), sb) == set()
+
+    def test_overgenerous_bound_still_exact(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=40, seed=7)
+        sa = {5, 6, 7}
+        sb = {7, 8}
+        assert rec.difference(rec.sketch(sa), sb) == {8}
+
+    def test_exceeded_bound_detected(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=4, seed=8)
+        rng = random.Random(9)
+        sa = set(rng.sample(range(1 << 40), 50))
+        sb = set(rng.sample(range(1 << 40), 50))  # discrepancy ~100 >> 4
+        with pytest.raises(DiscrepancyExceeded):
+            rec.difference(rec.sketch(sa), sb)
+
+    def test_key_outside_universe_rejected(self):
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=4, seed=1)
+        with pytest.raises(ValueError):
+            rec.sketch({1 << 60})
+
+    def test_incompatible_sketch_rejected(self):
+        r1 = CharacteristicPolynomialReconciler(max_discrepancy=4, seed=1)
+        r2 = CharacteristicPolynomialReconciler(max_discrepancy=4, seed=2)
+        sk = r1.sketch({1, 2})
+        with pytest.raises(ValueError):
+            r2.difference(sk, {3})
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            CharacteristicPolynomialReconciler(max_discrepancy=0)
+
+    def test_wire_size_linear_in_bound_not_set_size(self):
+        small = CharacteristicPolynomialReconciler(max_discrepancy=10, seed=1)
+        sk1 = small.sketch(set(range(100)))
+        sk2 = small.sketch(set(range(10_000)))
+        assert sk1.size_bytes() == sk2.size_bytes()  # O(d log u), not O(n)
+
+
+class TestCPIProperty:
+    @given(
+        common=st.sets(st.integers(min_value=0, max_value=2**30), max_size=40),
+        only_a=st.sets(st.integers(min_value=2**31, max_value=2**32), max_size=8),
+        only_b=st.sets(st.integers(min_value=2**33, max_value=2**34), max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_exact_difference(self, common, only_a, only_b):
+        sa = common | only_a
+        sb = common | only_b
+        rec = CharacteristicPolynomialReconciler(max_discrepancy=20, seed=11)
+        assert rec.difference(rec.sketch(sa), sb) == only_b
+
+
+class TestPolyHelpers:
+    def test_gcd_of_coprime_is_one(self):
+        # (x - 1) and (x - 2) are coprime.
+        p = [(-1) % ((1 << 61) - 1), 1]
+        q = [(-2) % ((1 << 61) - 1), 1]
+        assert _poly_gcd(p, q) == [1]
+
+    def test_gcd_finds_common_root(self):
+        mod = (1 << 61) - 1
+        # (x - 3)(x - 1) and (x - 3)(x - 2) share (x - 3).
+        p = [3 % mod, (-4) % mod, 1]
+        q = [6 % mod, (-5) % mod, 1]
+        g = _poly_gcd(p, q)
+        assert len(g) == 2
+        # root of g should be 3: g(3) == 0
+        assert (g[0] + g[1] * 3) % mod == 0

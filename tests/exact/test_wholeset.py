@@ -1,0 +1,64 @@
+"""Tests for the whole-set and hash-set baselines."""
+
+import random
+
+import pytest
+
+from repro.exact import HashSetSummary, whole_set_difference
+
+
+class TestWholeSet:
+    def test_exact_difference(self):
+        diff, _ = whole_set_difference({1, 2, 3}, {2, 3, 4, 5})
+        assert diff == {4, 5}
+
+    def test_wire_cost(self):
+        _, cost = whole_set_difference(range(100), range(10), key_bits=64)
+        assert cost == 800
+
+    def test_empty_sets(self):
+        diff, cost = whole_set_difference([], [])
+        assert diff == set() and cost == 0
+
+
+class TestHashSet:
+    def test_finds_differences(self):
+        rng = random.Random(1)
+        sa = set(rng.sample(range(1 << 40), 1000))
+        sb = set(rng.sample(sorted(sa), 900)) | set(rng.sample(range(1 << 41, 1 << 42), 100))
+        summary = HashSetSummary.with_polynomial_range(sa, seed=2)
+        found = set(summary.difference_from(sb))
+        true_diff = sb - sa
+        assert found <= true_diff  # no common element reported
+        assert len(found) >= 0.95 * len(true_diff)  # rare collision misses
+
+    def test_membership_no_false_negatives(self):
+        sa = set(range(500))
+        summary = HashSetSummary(sa, hash_bits=32, seed=3)
+        assert all(x in summary for x in sa)
+
+    def test_narrow_hash_increases_misses(self):
+        rng = random.Random(4)
+        sa = set(rng.sample(range(1 << 40), 2000))
+        sb = set(rng.sample(range(1 << 41, 1 << 42), 2000))
+        narrow = HashSetSummary(sa, hash_bits=8, seed=5)
+        wide = HashSetSummary(sa, hash_bits=48, seed=5)
+        missed_narrow = len(sb) - len(narrow.difference_from(sb))
+        missed_wide = len(sb) - len(wide.difference_from(sb))
+        assert missed_wide < missed_narrow
+
+    def test_size_scales_with_hash_width(self):
+        sa = set(range(1000))
+        s16 = HashSetSummary(sa, hash_bits=16, seed=1)
+        s48 = HashSetSummary(sa, hash_bits=48, seed=1)
+        assert s48.size_bytes() > s16.size_bytes()
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            HashSetSummary([1], hash_bits=0)
+        with pytest.raises(ValueError):
+            HashSetSummary([1], hash_bits=65)
+
+    def test_polynomial_range_sizing(self):
+        s = HashSetSummary.with_polynomial_range(range(1024), exponent=3)
+        assert s.hash_bits == 30  # 3 * log2(1024)

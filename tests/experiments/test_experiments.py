@@ -1,0 +1,127 @@
+"""Tests for the figure/table regenerators (small-scale, shape checks)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_coding_stats,
+    run_fig4a,
+    run_fig4b,
+    run_fig4c,
+    run_fig5,
+    run_fig6,
+    run_fig78,
+    run_sketch_accuracy,
+)
+from repro.experiments.fig4 import best_leaf_split
+from repro.experiments.fig5678 import series_by_strategy
+
+
+class TestFig4:
+    def test_fig4a_shape(self):
+        pts = run_fig4a(
+            set_size=1500, differences=40, trials=2,
+            leaf_bit_choices=(2, 4, 6), corrections=(0, 3, 5),
+        )
+        assert len(pts) == 9
+        by = {(p.leaf_bits, p.correction): p.accuracy for p in pts}
+        # Correction raises accuracy at any fixed split (Fig 4a ordering).
+        for leaf in (2, 4, 6):
+            assert by[(leaf, 5)] >= by[(leaf, 0)]
+
+    def test_fig4a_best_split(self):
+        pts = run_fig4a(
+            set_size=1000, differences=30, trials=1,
+            leaf_bit_choices=(2, 6), corrections=(5,),
+        )
+        assert best_leaf_split(pts, correction=5) in (2, 6)
+        with pytest.raises(ValueError):
+            best_leaf_split(pts, correction=99)
+
+    def test_fig4b_table_monotone(self):
+        table = run_fig4b(
+            set_size=1500, differences=40, trials=1,
+            bits_choices=(2, 8), corrections=(0, 5),
+        )
+        # More bits help; more correction helps (paper Fig 4b).
+        assert table[(5, 8)] >= table[(5, 2)]
+        assert table[(5, 8)] >= table[(0, 8)]
+        assert table[(5, 8)] > 0.6
+
+    def test_fig4c_structure(self):
+        rows = run_fig4c(set_size=1500, differences=40, trials=1)
+        names = [r.name for r in rows]
+        assert "Bloom filter" in names[0]
+        assert "A.R.T." in names[1]
+        bf, art = rows
+        assert bf.accuracy > art.accuracy  # BF more accurate at same bits
+        assert bf.accuracy > 0.9
+        assert art.accuracy > 0.6
+
+
+class TestFig5678:
+    def test_fig5_ordering(self):
+        pts = run_fig5(target=400, trials=2, correlation_points=3,
+                       strategies=("Random", "Recode/BF"))
+        compact = series_by_strategy(pts, "compact")
+        # Recode/BF beats Random at every compact correlation (Fig 5a).
+        for rnd, rbf in zip(compact["Random"], compact["Recode/BF"]):
+            assert rbf.value < rnd.value
+        # Random degrades with correlation in compact scenarios.
+        rand = compact["Random"]
+        assert rand[-1].value > rand[0].value
+
+    def test_fig5_stretched_random_improves(self):
+        pts = run_fig5(target=400, trials=2, correlation_points=3,
+                       strategies=("Random", "Recode"))
+        stretched = series_by_strategy(pts, "stretched")
+        compact = series_by_strategy(pts, "compact")
+        # Random is much better stretched than compact (Section 6.3).
+        assert stretched["Random"][0].value < compact["Random"][0].value
+        # Oblivious recoding is worse than Random when stretched.
+        assert stretched["Recode"][0].value > stretched["Random"][0].value
+
+    def test_fig6_speedups_bounded(self):
+        pts = run_fig6(target=300, trials=2, correlation_points=2,
+                       strategies=("Random/BF", "Recode/BF"))
+        for p in pts:
+            if not math.isnan(p.value):
+                assert 0.9 <= p.value <= 2.1
+
+    def test_fig78_partial_senders_additive(self):
+        pts = run_fig78(num_senders=2, target=300, trials=2,
+                        correlation_points=2, strategies=("Recode/BF",))
+        values = [p.value for p in pts if not math.isnan(p.value)]
+        assert values and max(values) > 1.0  # beats a single full sender
+
+    def test_fig78_validates_sender_count(self):
+        with pytest.raises(ValueError):
+            run_fig78(num_senders=0)
+
+
+class TestCodingStats:
+    def test_paper_band_at_scale(self):
+        stats = run_coding_stats(num_blocks=2000, trials=3)
+        assert 8 <= stats.average_degree <= 13
+        assert stats.decoding_overhead < 0.15
+
+    def test_custom_distribution(self):
+        from repro.coding import DegreeDistribution
+
+        stats = run_coding_stats(
+            num_blocks=300, trials=2,
+            distribution=DegreeDistribution.ideal_soliton(300),
+        )
+        # Ideal soliton is fragile: overhead notably worse than robust.
+        assert stats.decoding_overhead > 0.0
+
+
+class TestSketchAccuracy:
+    def test_all_techniques_within_packet_budget(self):
+        rows = run_sketch_accuracy(set_size=1500, trials=2)
+        assert {r.technique for r in rows} == {"minwise", "random-sample", "mod-k"}
+        for r in rows:
+            assert r.packet_bytes <= 1024  # the 1KB calling-card claim
+            assert r.rmse < 0.12  # "sufficiently accurate estimates"
+            assert abs(r.bias) < 0.06

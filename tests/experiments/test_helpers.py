@@ -1,0 +1,51 @@
+"""Tests for experiment helper functions and data shapes."""
+
+import math
+import random
+
+import pytest
+
+from repro.experiments.fig4 import _make_sets
+from repro.experiments.fig5678 import DeliveryPoint, _correlations, series_by_strategy
+from repro.experiments.sketch_accuracy import _make_pair
+
+
+class TestFig4Helpers:
+    def test_make_sets_difference_counts(self):
+        rng = random.Random(1)
+        set_a, set_b = _make_sets(1000, 50, rng)
+        assert len(set_a) == len(set_b) == 1000
+        assert len(set(set_b) - set(set_a)) == 50
+        assert len(set(set_a) - set(set_b)) == 50
+
+
+class TestFig5678Helpers:
+    def test_correlations_respect_cap(self):
+        corrs = _correlations(1.1, 6)
+        assert len(corrs) == 6
+        assert corrs[0] == 0.0
+        assert corrs[-1] < 0.45  # below the compact cap
+
+    def test_series_grouping_and_sorting(self):
+        pts = [
+            DeliveryPoint("5", "compact", "Random", 0.3, 2.0, 1.0),
+            DeliveryPoint("5", "compact", "Random", 0.1, 1.5, 1.0),
+            DeliveryPoint("5", "stretched", "Random", 0.1, 1.2, 1.0),
+            DeliveryPoint("5", "compact", "Recode", 0.1, 1.4, 1.0),
+        ]
+        series = series_by_strategy(pts, "compact")
+        assert set(series) == {"Random", "Recode"}
+        assert [p.correlation for p in series["Random"]] == [0.1, 0.3]
+
+    def test_series_empty_scenario(self):
+        assert series_by_strategy([], "compact") == {}
+
+
+class TestSketchAccuracyHelpers:
+    @pytest.mark.parametrize("containment", [0.0, 0.5, 1.0])
+    def test_make_pair_hits_containment(self, containment):
+        rng = random.Random(int(containment * 7) + 1)
+        a, b = _make_pair(2000, containment, rng)
+        assert len(a) == len(b) == 2000
+        realised = len(a.ids & b.ids) / len(b)
+        assert realised == pytest.approx(containment, abs=0.01)

@@ -1,0 +1,113 @@
+"""Tests for the standard Bloom filter."""
+
+import random
+
+import pytest
+
+from repro.filters import BloomFilter, false_positive_rate, optimal_hash_count
+
+
+class TestBloomBasics:
+    def test_no_false_negatives(self):
+        keys = random.Random(1).sample(range(1 << 30), 2000)
+        bf = BloomFilter.for_elements(keys, bits_per_element=8)
+        assert all(k in bf for k in keys)
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(128, 3)
+        assert 42 not in bf
+        assert bf.fill_ratio() == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0)
+
+    def test_update_batch(self):
+        bf = BloomFilter(1024, 4)
+        bf.update(range(50))
+        assert all(x in bf for x in range(50))
+        assert bf.count == 50
+
+    def test_missing_from_yields_only_absent(self):
+        keys = set(range(1000, 1500))
+        bf = BloomFilter.for_elements(keys, bits_per_element=10)
+        candidates = list(range(1000, 1600))
+        missing = list(bf.missing_from(candidates))
+        # Everything reported missing truly is missing (no false negatives
+        # means no held symbol is reported absent).
+        assert all(m not in keys for m in missing)
+        # Most truly-absent candidates are found (FPs may hide a few).
+        assert len(missing) > 80
+
+    def test_serialisation_roundtrip(self):
+        bf = BloomFilter.for_elements(range(100), bits_per_element=8, seed=3)
+        clone = BloomFilter.from_bytes(bf.to_bytes(), bf.m, bf.k, bf.seed)
+        assert all(x in clone for x in range(100))
+
+    def test_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"\x00", 128, 3)
+
+    def test_union(self):
+        a = BloomFilter(512, 3, seed=1)
+        b = BloomFilter(512, 3, seed=1)
+        a.update(range(0, 50))
+        b.update(range(50, 100))
+        u = a.union(b)
+        assert all(x in u for x in range(100))
+
+    def test_union_requires_same_params(self):
+        a = BloomFilter(512, 3, seed=1)
+        b = BloomFilter(512, 3, seed=2)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_size_bytes(self):
+        bf = BloomFilter(8000, 5)
+        assert bf.size_bytes() == 1000
+
+
+class TestBloomMath:
+    def test_fp_formula_paper_values(self):
+        # Section 5.2: 4 bits/elt + 3 hashes -> 14.7%; 8 bits + 5 -> 2.2%.
+        assert false_positive_rate(4 * 1000, 1000, 3) == pytest.approx(0.147, abs=0.001)
+        assert false_positive_rate(8 * 1000, 1000, 5) == pytest.approx(0.0217, abs=0.001)
+
+    def test_fp_empty_filter(self):
+        assert false_positive_rate(100, 0, 3) == 0.0
+
+    def test_fp_invalid(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(0, 10, 3)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, 10, 0)
+
+    def test_optimal_hash_count(self):
+        # k* = (m/n) ln2: 8 bits/elt -> 5.5 -> 6 or 5 depending on rounding.
+        assert optimal_hash_count(8000, 1000) in (5, 6)
+        assert optimal_hash_count(1000, 1000) == 1
+
+    def test_optimal_hash_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            optimal_hash_count(100, 0)
+
+
+class TestBloomEmpirical:
+    def test_empirical_fp_matches_formula(self):
+        rng = random.Random(9)
+        keys = rng.sample(range(1 << 40), 5000)
+        bf = BloomFilter.for_elements(keys, bits_per_element=8, k_hashes=5)
+        probes = rng.sample(range(1 << 41, 1 << 42), 20_000)
+        fp = sum(1 for p in probes if p in bf) / len(probes)
+        expected = false_positive_rate(bf.m, 5000, 5)
+        assert abs(fp - expected) < 0.01
+
+    def test_paper_sizing_example(self):
+        # "using four bits per element, we can create filters for 10,000
+        # packets using just 40,000 bits, which can fit into five 1 KB
+        # packets."
+        bf = BloomFilter.for_elements(range(10_000), bits_per_element=4, k_hashes=3)
+        assert bf.m == 40_000
+        assert bf.size_bytes() == 5_000  # five 1KB packets

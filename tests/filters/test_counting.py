@@ -1,0 +1,56 @@
+"""Tests for the counting Bloom filter."""
+
+import pytest
+
+from repro.filters import CountingBloomFilter
+
+
+class TestCountingBloom:
+    def test_add_then_contains(self):
+        cbf = CountingBloomFilter.for_elements(range(100))
+        assert all(x in cbf for x in range(100))
+
+    def test_remove_restores_absence(self):
+        cbf = CountingBloomFilter(2048, 4, seed=1)
+        cbf.add(42)
+        assert 42 in cbf
+        cbf.remove(42)
+        assert 42 not in cbf
+
+    def test_remove_absent_raises(self):
+        cbf = CountingBloomFilter(1024, 3)
+        with pytest.raises(KeyError):
+            cbf.remove(7)
+
+    def test_remove_keeps_other_members(self):
+        cbf = CountingBloomFilter(4096, 4, seed=2)
+        for x in range(200):
+            cbf.add(x)
+        cbf.remove(0)
+        assert all(x in cbf for x in range(1, 200))
+
+    def test_multiset_semantics(self):
+        cbf = CountingBloomFilter(1024, 3, seed=3)
+        cbf.add(5)
+        cbf.add(5)
+        cbf.remove(5)
+        assert 5 in cbf  # one occurrence remains
+        cbf.remove(5)
+        assert 5 not in cbf
+
+    def test_count_tracking(self):
+        cbf = CountingBloomFilter(1024, 3)
+        cbf.add(1)
+        cbf.add(2)
+        cbf.remove(1)
+        assert cbf.count == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(8, 0)
+
+    def test_size_bytes(self):
+        cbf = CountingBloomFilter(1000, 3)
+        assert cbf.size_bytes() == 2000

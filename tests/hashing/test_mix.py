@@ -1,0 +1,64 @@
+"""Tests for the 64-bit mixers."""
+
+import itertools
+
+import pytest
+
+from repro.hashing.mix import fibonacci_mix, mix64, splitmix64_stream
+
+
+class TestMix64:
+    def test_range(self):
+        for x in (0, 1, 17, 2**63, 2**64 - 1):
+            assert 0 <= mix64(x) < 2**64
+
+    def test_deterministic(self):
+        assert mix64(12345, seed=7) == mix64(12345, seed=7)
+
+    def test_seed_changes_output(self):
+        assert mix64(12345, seed=1) != mix64(12345, seed=2)
+
+    def test_bijective_for_fixed_seed(self):
+        # A bijection restricted to a small sample has no collisions.
+        outputs = {mix64(x, seed=3) for x in range(10_000)}
+        assert len(outputs) == 10_000
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = mix64(0xABCDEF, seed=0)
+        flipped = mix64(0xABCDEF ^ 1, seed=0)
+        differing = bin(base ^ flipped).count("1")
+        assert 16 <= differing <= 48
+
+    def test_uniformity_of_low_bits(self):
+        # Low bits modulo small m should be near-uniform.
+        counts = [0] * 8
+        for x in range(8_000):
+            counts[mix64(x) % 8] += 1
+        assert max(counts) - min(counts) < 300
+
+
+class TestFibonacciMix:
+    def test_width(self):
+        for bits in (1, 8, 16, 32):
+            assert 0 <= fibonacci_mix(123456789, bits) < (1 << bits)
+
+    def test_spreads_sequential_inputs(self):
+        outs = {fibonacci_mix(i, 16) for i in range(1000)}
+        assert len(outs) > 900
+
+
+class TestSplitmixStream:
+    def test_reproducible(self):
+        a = list(itertools.islice(splitmix64_stream(9), 10))
+        b = list(itertools.islice(splitmix64_stream(9), 10))
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = list(itertools.islice(splitmix64_stream(1), 5))
+        b = list(itertools.islice(splitmix64_stream(2), 5))
+        assert a != b
+
+    def test_values_in_range(self):
+        for v in itertools.islice(splitmix64_stream(5), 100):
+            assert 0 <= v < 2**64

@@ -1,0 +1,165 @@
+"""Tests for overlay nodes, policies, and the tick simulator."""
+
+import random
+
+import pytest
+
+from repro.overlay import (
+    OverlayNode,
+    OverlaySimulator,
+    SketchAdmission,
+    UtilityRewiring,
+    VirtualTopology,
+    figure1_scenario,
+    random_overlay_scenario,
+)
+from repro.overlay.scenarios import default_family
+
+
+class TestOverlayNode:
+    def test_completion(self):
+        n = OverlayNode("x", target=3, initial_ids=[1, 2])
+        assert not n.is_complete
+        assert n.receive_symbol(3)
+        assert n.is_complete
+
+    def test_source_always_complete(self):
+        s = OverlayNode("s", target=100, is_source=True)
+        assert s.is_complete
+        assert s.mint_fresh_id() != s.mint_fresh_id()
+
+    def test_non_source_cannot_mint(self):
+        n = OverlayNode("x", target=10)
+        with pytest.raises(RuntimeError):
+            n.mint_fresh_id()
+
+    def test_sketch_refreshes_after_updates(self):
+        fam = default_family()
+        n = OverlayNode("x", target=10, initial_ids=[1, 2, 3])
+        before = n.sketch(fam).minima
+        n.receive_symbol(999_999)
+        after = n.sketch(fam).minima
+        assert before != after or True  # minima may or may not move...
+        # ...but the sketch must reflect the new set exactly:
+        from repro.sketches import MinwiseSketch
+
+        expected = MinwiseSketch.build(
+            (i % fam.universe_size for i in n.working_set.ids), fam
+        )
+        assert n.sketch(fam).minima == expected.minima
+
+    def test_usefulness_identical_vs_disjoint(self):
+        fam = default_family()
+        a = OverlayNode("a", 10, initial_ids=range(100))
+        twin = OverlayNode("t", 10, initial_ids=range(100))
+        stranger = OverlayNode("s", 10, initial_ids=range(1000, 1100))
+        assert a.estimated_usefulness_of(twin, fam) == pytest.approx(0.0)
+        assert a.estimated_usefulness_of(stranger, fam) > 0.9
+
+
+class TestAdmission:
+    def test_rejects_identical_content(self):
+        fam = default_family()
+        policy = SketchAdmission(fam, min_usefulness=0.05)
+        a = OverlayNode("a", 10, initial_ids=range(200))
+        twin = OverlayNode("t", 10, initial_ids=range(200))
+        assert not policy.admit(a, twin)
+
+    def test_admits_source_always(self):
+        fam = default_family()
+        policy = SketchAdmission(fam)
+        a = OverlayNode("a", 10, initial_ids=range(200))
+        src = OverlayNode("s", 10, is_source=True)
+        assert policy.admit(a, src)
+
+    def test_admits_complementary_peer(self):
+        fam = default_family()
+        policy = SketchAdmission(fam)
+        a = OverlayNode("a", 10, initial_ids=range(200))
+        b = OverlayNode("b", 10, initial_ids=range(500, 700))
+        assert policy.admit(a, b)
+
+    def test_rejects_empty_candidate(self):
+        fam = default_family()
+        policy = SketchAdmission(fam)
+        a = OverlayNode("a", 10, initial_ids=range(10))
+        empty = OverlayNode("e", 10)
+        assert not policy.admit(a, empty)
+
+
+class TestRewiring:
+    def test_fills_free_slots_first(self):
+        fam = default_family()
+        policy = UtilityRewiring(fam, rng=random.Random(1))
+        recv = OverlayNode("r", 100, initial_ids=range(50), max_connections=2)
+        c1 = OverlayNode("c1", 100, initial_ids=range(100, 150))
+        drops, adds = policy.rewire(recv, [], [recv, c1])
+        assert drops == []
+        assert [a.node_id for a in adds] == ["c1"]
+
+    def test_swaps_only_with_hysteresis_margin(self):
+        fam = default_family()
+        policy = UtilityRewiring(fam, hysteresis=0.1, rng=random.Random(2))
+        recv = OverlayNode("r", 100, initial_ids=range(50), max_connections=1)
+        current = OverlayNode("cur", 100, initial_ids=range(50))  # useless twin
+        better = OverlayNode("new", 100, initial_ids=range(500, 550))
+        drops, adds = policy.rewire(recv, [current], [current, better])
+        assert [d.node_id for d in drops] == ["cur"]
+        assert [a.node_id for a in adds] == ["new"]
+
+    def test_no_swap_between_equivalent_senders(self):
+        fam = default_family()
+        policy = UtilityRewiring(fam, hysteresis=0.1, rng=random.Random(3))
+        recv = OverlayNode("r", 100, initial_ids=range(50), max_connections=1)
+        cur = OverlayNode("cur", 100, initial_ids=range(500, 550))
+        alt = OverlayNode("alt", 100, initial_ids=range(600, 650))
+        drops, adds = policy.rewire(recv, [cur], [cur, alt])
+        assert drops == [] and adds == []
+
+
+class TestSimulator:
+    def test_source_to_single_peer(self):
+        fam = default_family()
+        sim = OverlaySimulator(VirtualTopology(), fam, rng=random.Random(4))
+        sim.add_node(OverlayNode("s", 50, is_source=True))
+        sim.add_node(OverlayNode("p", 50))
+        assert sim.connect("s", "p")
+        report = sim.run(max_ticks=200)
+        assert report.all_complete
+        assert report.completion_ticks["p"] is not None
+
+    def test_duplicate_node_rejected(self):
+        fam = default_family()
+        sim = OverlaySimulator(VirtualTopology(), fam)
+        sim.add_node(OverlayNode("x", 10))
+        with pytest.raises(ValueError):
+            sim.add_node(OverlayNode("x", 10))
+
+    def test_admission_blocks_connection(self):
+        fam = default_family()
+        sim = OverlaySimulator(
+            VirtualTopology(), fam, admission=SketchAdmission(fam),
+            rng=random.Random(5),
+        )
+        sim.add_node(OverlayNode("a", 10, initial_ids=range(100)))
+        sim.add_node(OverlayNode("b", 10, initial_ids=range(100)))
+        assert not sim.connect("a", "b")  # identical content rejected
+
+    def test_figure1_collaboration_beats_tree(self):
+        collab = figure1_scenario(target=200).simulator.run(max_ticks=2000)
+        tree = figure1_scenario(
+            target=200, with_perpendicular=False
+        ).simulator.run(max_ticks=2000)
+        assert collab.all_complete and tree.all_complete
+        assert collab.ticks < tree.ticks  # the paper's Figure 1 argument
+
+    def test_random_overlay_completes_with_rewiring(self):
+        bundle = random_overlay_scenario(num_peers=6, target=150, seed=8)
+        report = bundle.simulator.run(max_ticks=2000)
+        assert report.all_complete
+        assert report.reconfigurations > 0  # adaptation actually happened
+
+    def test_report_efficiency_bounds(self):
+        bundle = figure1_scenario(target=150)
+        report = bundle.simulator.run(max_ticks=2000)
+        assert 0.0 <= report.efficiency <= 1.0

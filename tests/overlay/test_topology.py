@@ -1,0 +1,119 @@
+"""Tests for physical network and virtual topology."""
+
+import pytest
+
+from repro.overlay import PhysicalNetwork, VirtualTopology
+
+
+def small_network():
+    net = PhysicalNetwork()
+    net.add_link("r0", "r1", bandwidth=10, loss_rate=0.01)
+    net.add_link("r1", "r2", bandwidth=5, loss_rate=0.02)
+    net.attach_host("a", "r0", bandwidth=8)
+    net.attach_host("b", "r2", bandwidth=20)
+    return net
+
+
+class TestPhysicalNetwork:
+    def test_path_characteristics_bottleneck(self):
+        net = small_network()
+        chars = net.path_characteristics("a", "b")
+        assert chars.bandwidth == 5  # r1-r2 is the bottleneck
+        assert chars.hops == 4
+
+    def test_composite_loss(self):
+        net = small_network()
+        chars = net.path_characteristics("a", "b")
+        expected = 1 - (1 - 0.01) * (1 - 0.02)
+        assert chars.loss_rate == pytest.approx(expected)
+
+    def test_attach_to_unknown_router_rejected(self):
+        net = small_network()
+        with pytest.raises(ValueError):
+            net.attach_host("c", "r99", bandwidth=1)
+
+    def test_link_validation(self):
+        net = PhysicalNetwork()
+        with pytest.raises(ValueError):
+            net.add_link("x", "y", bandwidth=0)
+        with pytest.raises(ValueError):
+            net.add_link("x", "y", bandwidth=1, loss_rate=1.0)
+
+    def test_shared_links_detects_redundant_mapping(self):
+        net = small_network()
+        net.attach_host("c", "r0", bandwidth=8)
+        # a->b and c->b both traverse r0-r1-r2.
+        assert net.shared_links(("a", "b"), ("c", "b")) >= 2
+
+    def test_degrade_link(self):
+        net = small_network()
+        net.degrade_link("r1", "r2", loss_rate=0.5)
+        assert net.path_characteristics("a", "b").loss_rate > 0.5 - 0.02
+        with pytest.raises(ValueError):
+            net.degrade_link("r0", "r9", 0.1)
+
+    def test_random_network_constructs(self):
+        net = PhysicalNetwork.random_network(10, seed=3)
+        assert len(net.routers()) >= 10
+
+
+class TestVirtualTopology:
+    def test_connect_and_disconnect(self):
+        topo = VirtualTopology()
+        topo.add_peer("a")
+        topo.add_peer("b")
+        chars = topo.connect("a", "b")
+        assert chars.bandwidth == 1.0  # no physical model: unit links
+        assert ("a", "b") in topo.connections()
+        topo.disconnect("a", "b")
+        assert ("a", "b") not in topo.connections()
+
+    def test_self_connection_rejected(self):
+        topo = VirtualTopology()
+        topo.add_peer("a")
+        with pytest.raises(ValueError):
+            topo.connect("a", "a")
+
+    def test_senders_and_receivers(self):
+        topo = VirtualTopology()
+        for p in "abc":
+            topo.add_peer(p)
+        topo.connect("a", "c")
+        topo.connect("b", "c")
+        assert set(topo.senders_of("c")) == {"a", "b"}
+        assert topo.receivers_of("a") == ["c"]
+
+    def test_multicast_tree_spans_all_peers(self):
+        net = PhysicalNetwork.random_network(8, seed=1)
+        peers = [f"h{i}" for i in range(6)]
+        routers = net.routers()
+        for i, p in enumerate(peers):
+            net.attach_host(p, routers[i % len(routers)], bandwidth=5)
+        topo = VirtualTopology(net)
+        topo.build_multicast_tree(peers[0], peers)
+        # A tree over k nodes has k-1 edges and reaches everyone.
+        assert len(topo.connections()) == len(peers) - 1
+        import networkx as nx
+
+        reachable = nx.descendants(topo.graph, peers[0]) | {peers[0]}
+        assert reachable == set(peers)
+
+    def test_perpendicular_proposals_exclude_existing(self):
+        topo = VirtualTopology()
+        for p in "abcd":
+            topo.add_peer(p)
+        topo.connect("a", "b")
+        proposals = topo.propose_perpendicular("abcd", max_new=10)
+        assert ("a", "b") not in proposals and ("b", "a") not in proposals
+        assert all(x != y for x, y in proposals)
+
+    def test_reroute_drops_degraded_paths(self):
+        net = small_network()
+        topo = VirtualTopology(net)
+        topo.add_peer("a")
+        topo.add_peer("b")
+        topo.connect("a", "b")
+        net.degrade_link("r1", "r2", loss_rate=0.5)
+        dropped = topo.reroute_degraded(loss_threshold=0.2)
+        assert ("a", "b") in dropped
+        assert ("a", "b") not in topo.connections()

@@ -1,0 +1,67 @@
+"""Tests for random-sample sketches."""
+
+import random
+
+import pytest
+
+from repro.sketches import RandomSampleSketch
+
+
+class TestRandomSampleBasics:
+    def test_build_sizes(self):
+        sk = RandomSampleSketch.build(range(1000), k=50, rng=random.Random(1))
+        assert len(sk) == 50
+        assert sk.set_size == 1000
+
+    def test_empty_set_empty_sample(self):
+        sk = RandomSampleSketch.build([], k=10, rng=random.Random(1))
+        assert len(sk) == 0
+        assert sk.set_size == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSampleSketch.build(range(10), k=-1)
+
+    def test_inconsistent_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSampleSketch([1, 2], set_size=0)
+
+    def test_sample_drawn_from_set(self):
+        keys = set(range(100, 200))
+        sk = RandomSampleSketch.build(keys, k=30, rng=random.Random(2))
+        assert all(s in keys for s in sk.sample)
+
+    def test_estimate_from_empty_sample_rejected(self):
+        sk = RandomSampleSketch([], set_size=0)
+        with pytest.raises(ValueError):
+            sk.estimate_containment_in(set())
+
+    def test_packet_size(self):
+        sk = RandomSampleSketch.build(range(1000), 128, rng=random.Random(3))
+        assert sk.packet_size_bytes() == 4 + 8 * 128
+
+
+class TestRandomSampleEstimates:
+    @pytest.mark.parametrize("containment", [0.0, 0.25, 0.5, 1.0])
+    def test_containment_estimate_unbiased(self, containment):
+        rng = random.Random(int(containment * 8) + 3)
+        size = 4000
+        overlap = int(containment * size)
+        pool = rng.sample(range(1 << 30), 2 * size - overlap)
+        sketched = set(pool[:size])
+        other = set(pool[size - overlap :])
+        truth = len(sketched & other) / len(sketched)
+        estimates = [
+            RandomSampleSketch.build(sketched, 128, rng).estimate_containment_in(other)
+            for _ in range(10)
+        ]
+        assert abs(sum(estimates) / len(estimates) - truth) < 0.08
+
+    def test_full_containment(self):
+        keys = set(range(500))
+        sk = RandomSampleSketch.build(keys, 64, rng=random.Random(4))
+        assert sk.estimate_containment_in(keys) == 1.0
+
+    def test_zero_containment(self):
+        sk = RandomSampleSketch.build(range(500), 64, rng=random.Random(5))
+        assert sk.estimate_containment_in(set(range(1000, 2000))) == 0.0
