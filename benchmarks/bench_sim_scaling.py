@@ -1,0 +1,96 @@
+"""Event-engine scaling: flash-crowd swarms from 32 to 256 nodes.
+
+Not a paper figure — this benchmarks the `repro.sim` substrate the
+scenario library runs on: how delivery throughput and wall time scale
+with swarm size when demand arrives in waves and every joiner runs the
+sketch-orchestrated join decision.  The 256-node point doubles as the
+acceptance run for the event clock (a full flash crowd end-to-end).
+"""
+
+import time
+
+from conftest import print_series
+
+from repro.sim.scenarios import flash_crowd
+
+
+def run_flash_crowd(num_peers, target=100, waves=None, wave_interval=15):
+    if waves is None:
+        waves = max(2, num_peers // 32)
+    seeded = max(4, num_peers // 32)
+    scenario = flash_crowd(
+        num_peers=num_peers,
+        target=target,
+        waves=waves,
+        wave_interval=wave_interval,
+        initial_seeded=seeded,
+    )
+    t0 = time.perf_counter()
+    report = scenario.run(max_ticks=20_000)
+    wall = time.perf_counter() - t0
+    return scenario, report, wall
+
+
+def test_flash_crowd_scaling(benchmark):
+    sizes = (32, 64, 128)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for n in sizes:
+            scenario, report, wall = run_flash_crowd(n)
+            assert report.all_complete, f"{n}-node crowd failed to complete"
+            rows.append(
+                f"peers={n:4d}  ticks={report.ticks:5d}  "
+                f"sent={report.packets_sent:7d}  "
+                f"useful={report.packets_useful:6d}  "
+                f"eff={report.efficiency:5.2f}  "
+                f"pkts/s={report.packets_sent / wall:9.0f}  "
+                f"wall={wall:5.2f}s"
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("flash-crowd scaling (event engine)", rows)
+
+
+def test_flash_crowd_256_nodes_end_to_end(benchmark):
+    """Acceptance run: a 256-node flash crowd under the event clock."""
+
+    def big():
+        return run_flash_crowd(256, waves=8)
+
+    scenario, report, wall = benchmark.pedantic(big, rounds=1, iterations=1)
+    print_series(
+        "256-node flash crowd",
+        [
+            f"complete={report.all_complete}  ticks={report.ticks}  "
+            f"sent={report.packets_sent}  efficiency={report.efficiency:.2f}  "
+            f"waves={len(scenario.events)}  wall={wall:.2f}s"
+        ],
+    )
+    assert report.all_complete
+    assert len(scenario.events) == 8  # every wave fired on the clock
+    # Every joiner planned its connections from live calling cards.
+    assert len(scenario.extras["join_plans"]) == 256 - 8
+
+
+def test_scenario_catalog_under_event_clock(benchmark):
+    """All four catalog scenarios complete on the shared event clock."""
+    from repro.sim.scenarios import SCENARIOS
+
+    def catalog():
+        results = {}
+        for name, factory in SCENARIOS.items():
+            report = factory().run(max_ticks=10_000)
+            results[name] = report
+        return results
+
+    results = benchmark.pedantic(catalog, rounds=1, iterations=1)
+    rows = [
+        f"{name:26s} complete={r.all_complete}  ticks={r.ticks:4d}  "
+        f"efficiency={r.efficiency:.2f}"
+        for name, r in results.items()
+    ]
+    print_series("scenario catalog", rows)
+    assert all(r.all_complete for r in results.values())

@@ -1,8 +1,46 @@
-"""Ensure the src layout is importable when the package is not installed."""
+"""Ensure the src layout is importable; configure the tier-1 test tiers.
+
+Tier-1 is the fast default pass (``pytest -q -m "not slow"`` — and for
+convenience plain ``pytest`` behaves the same: tests marked ``slow``
+are auto-skipped unless explicitly requested).  Long-running scenario
+tests opt in with ``@pytest.mark.slow`` and run via ``--runslow`` or
+``-m slow``.
+"""
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (excluded from the tier-1 pass)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running scenario test, excluded from tier-1 "
+        '(pytest -q -m "not slow"); enable with --runslow or -m slow',
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    markexpr = config.getoption("-m", default="") or ""
+    if "slow" in markexpr:
+        return  # the user addressed slow tests explicitly; honour -m
+    skip_slow = pytest.mark.skip(reason="slow: tier-1 excludes it (use --runslow)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

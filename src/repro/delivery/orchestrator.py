@@ -116,6 +116,43 @@ def select_senders(
     return result
 
 
+@dataclass
+class JoinPlan:
+    """A joining receiver's complete connection plan, from sketches alone."""
+
+    selection: SelectionResult
+    groups: List[List[str]]  # replica groups among the *chosen* senders
+    demand: Dict[str, int]  # symbols requested per chosen sender
+    decided_at: Optional[float] = None  # event-clock timestamp, if any
+
+
+def plan_join(
+    receiver_sketch: MinwiseSketch,
+    receiver_size: int,
+    candidates: Sequence[CandidateSender],
+    max_senders: int,
+    symbols_desired: int,
+    rng: Optional[random.Random] = None,
+    now: Optional[float] = None,
+) -> JoinPlan:
+    """The full join decision: select senders, group replicas, split demand.
+
+    This is the sequence a receiver runs when it enters the overlay (or
+    when a flash-crowd scenario schedules its join event): greedy
+    max-coverage selection over calling cards, single-link replica
+    grouping among the chosen senders, and demand allocation across
+    groups.  ``now`` stamps the decision with the simulation clock so
+    time-series recorders can correlate joins with delivery.
+    """
+    selection = select_senders(
+        receiver_sketch, receiver_size, candidates, max_senders
+    )
+    chosen = [c for c in candidates if c.peer_id in selection.chosen]
+    groups = group_identical_senders(chosen)
+    demand = split_demand(symbols_desired, groups, rng=rng)
+    return JoinPlan(selection=selection, groups=groups, demand=demand, decided_at=now)
+
+
 def group_identical_senders(
     candidates: Sequence[CandidateSender],
     threshold: float = IDENTICAL_THRESHOLD,

@@ -11,9 +11,11 @@ reconfiguration when connections lose utility.
   around congested paths.
 * :mod:`repro.overlay.node` — overlay end-systems: working set, sketch
   publication, connection slots.
-* :mod:`repro.overlay.simulator` — tick-based simulation engine:
-  connections deliver packets (bandwidth- and loss-limited), nodes
-  reconcile and adapt peering, metrics are collected per node.
+* :mod:`repro.overlay.simulator` — event-driven simulation engine
+  (built on :mod:`repro.sim`): connections deliver packets through
+  pluggable link models (bandwidth-, loss- and latency-limited), nodes
+  reconcile and adapt peering, metrics are collected per node.  The
+  legacy tick API is preserved — a tick is a periodic event.
 * :mod:`repro.overlay.reconfiguration` — peering policies: sketch-based
   admission control and utility-driven rewiring.
 * :mod:`repro.overlay.scenarios` — canned topologies including the

@@ -105,16 +105,10 @@ class ChurnProcess:
                 self._depart(node, tick)
 
     def _depart(self, node: OverlayNode, tick: int) -> None:
+        # The simulator detaches the node; we keep the node object (and
+        # its working set) for the rejoin — no state handoff required.
         node_id = node.node_id
-        for sender in list(self.sim.topology.senders_of(node_id)):
-            self.sim.disconnect(sender, node_id)
-        for receiver in list(self.sim.topology.receivers_of(node_id)):
-            self.sim.disconnect(node_id, receiver)
-        # Remove from the simulator but keep the node object (and its
-        # working set) for the rejoin — no state handoff required.
-        del self.sim.nodes[node_id]
-        self.sim._peelers.pop(node_id, None)
-        self.sim.topology.graph.remove_node(node_id)
+        self.sim.remove_node(node_id)
         self._away[node_id] = (node, tick + self.rejoin_after)
         self.log.departures.append((tick, node_id))
 

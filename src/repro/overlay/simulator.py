@@ -1,50 +1,133 @@
-"""Tick-based overlay delivery simulation.
+"""Event-driven overlay delivery simulation.
 
-Each tick, every live connection delivers up to ``bandwidth`` packets
-composed by the sender's strategy, each independently lost with the
-path's loss rate.  Receivers peel recoded arrivals; every
-``reconfigure_every`` ticks the rewiring policy re-evaluates peerings
-using sketches.  The engine exercises the paper's full loop: encode →
-sketch → admit → summarise → informed transfer → adapt.
+The simulator is built on :mod:`repro.sim`: a heap-scheduled
+:class:`~repro.sim.engine.EventScheduler` carries every process — the
+per-tick delivery pass, latency-delayed packet arrivals, scenario
+events (join waves, departures, loss-regime changes) — on one shared
+clock.  The legacy tick API survives unchanged because *a tick is just
+a periodic event*: ``tick()`` advances the clock one unit, firing the
+delivery event plus anything scheduled between ticks.
+
+Each connection carries a pluggable :class:`~repro.sim.links.LinkModel`
+deciding its packet budget per window, per-packet loss, and arrival
+latency.  The default :class:`~repro.sim.links.ConstantRateLink`
+reproduces the historic tick behaviour exactly (one RNG draw per
+packet, credit-carried fractional bandwidth), which the tick-parity
+regression in ``tests/sim/test_parity.py`` pins.  Heterogeneous links
+(jitter, Gilbert-Elliott bursts, bandwidth traces) plug in through
+``link_factory`` without touching the delivery loop.
+
+The engine exercises the paper's full loop: encode → sketch → admit →
+summarise → informed transfer → adapt.
 """
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.coding.peeler import RecodedPeeler
 from repro.coding.symbol import RecodedSymbol
 from repro.delivery.packets import Packet
 from repro.delivery.strategies import SenderStrategy, make_strategy
-from repro.delivery.working_set import WorkingSet
 from repro.hashing.permutations import PermutationFamily
 from repro.overlay.node import OverlayNode
 from repro.overlay.reconfiguration import AdmissionPolicy, ReconfigurationPolicy
-from repro.overlay.topology import VirtualTopology
+from repro.overlay.topology import PathCharacteristics, VirtualTopology
+from repro.sim.engine import EventScheduler
+from repro.sim.links import ConstantRateLink, LinkModel, drain_credit
+from repro.sim.stats import StatsRecorder
+
+#: Builds a link model for a new connection; receives the physical path
+#: characteristics and the endpoint ids.
+LinkFactory = Callable[[PathCharacteristics, str, str], LinkModel]
 
 
-@dataclass
 class Connection:
-    """A live virtual connection with its sender strategy."""
+    """A live virtual connection with its sender strategy and link model.
 
-    sender: OverlayNode
-    receiver: OverlayNode
-    strategy: Optional[SenderStrategy]  # None for sources (mint fresh ids)
-    bandwidth: float
-    loss_rate: float
-    established_tick: int
-    packets_sent: int = 0
-    packets_lost: int = 0
-    packets_useful: int = 0
-    _credit: float = 0.0
+    ``bandwidth`` and ``loss_rate`` mirror the physical path
+    characteristics.  While the connection uses its auto-built
+    constant-rate link, assigning either re-steers that link (legacy
+    callers tweak connections mid-run, e.g. degradation tests);
+    installing a custom ``link`` ends the coupling.
+    """
+
+    def __init__(
+        self,
+        sender: OverlayNode,
+        receiver: OverlayNode,
+        strategy: Optional[SenderStrategy],  # None for sources
+        bandwidth: float,
+        loss_rate: float,
+        established_tick: int,
+        link: Optional[LinkModel] = None,
+    ):
+        self.sender = sender
+        self.receiver = receiver
+        self.strategy = strategy
+        self.established_tick = established_tick
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.packets_useful = 0
+        self.stats_name = f"{sender.node_id}->{receiver.node_id}"
+        self._bandwidth = bandwidth
+        self._loss_rate = loss_rate
+        self._auto_link = link is None
+        self._link = (
+            link if link is not None else ConstantRateLink(bandwidth, loss_rate)
+        )
+        self._legacy_credit = 0.0
+
+    @property
+    def bandwidth(self) -> float:
+        return self._bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: float) -> None:
+        self._bandwidth = value
+        if self._auto_link:
+            self._link.rate = value
+
+    @property
+    def loss_rate(self) -> float:
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, value: float) -> None:
+        self._loss_rate = value
+        if self._auto_link:
+            self._link.loss_rate = value
+
+    @property
+    def link(self) -> LinkModel:
+        return self._link
+
+    @link.setter
+    def link(self, value: LinkModel) -> None:
+        self._link = value
+        self._auto_link = False
 
     def packets_this_tick(self) -> int:
-        """Integer packets for a possibly fractional bandwidth."""
-        self._credit += self.bandwidth
-        whole = int(self._credit)
-        self._credit -= whole
+        """Integer packets for a possibly fractional bandwidth.
+
+        Standalone per-tick accounting over ``bandwidth`` for callers
+        driving a connection by hand: the same epsilon-floored,
+        never-negative credit rule the link models use, but on a
+        private accumulator — hand-driving a connection never drains
+        budget the event engine is charging against the live link.
+        Deterministic and RNG-free under any seeding.
+        """
+        whole, self._legacy_credit = drain_credit(
+            self._legacy_credit, self._bandwidth
+        )
         return whole
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Connection({self.sender.node_id}->{self.receiver.node_id}, "
+            f"bw={self._bandwidth:g}, loss={self._loss_rate:g})"
+        )
 
 
 @dataclass
@@ -67,7 +150,24 @@ class SimulationReport:
 
 
 class OverlaySimulator:
-    """Drives nodes, connections, and adaptation policies tick by tick."""
+    """Drives nodes, connections, and adaptation policies on an event clock.
+
+    Args:
+        topology: the virtual overlay (optionally over a physical net).
+        sketch_family: shared min-wise family for calling cards.
+        admission/rewiring: peering policies (Section 4).
+        strategy_name: sender strategy legend name (Figures 5-8).
+        reconfigure_every / refresh_every: control-plane periods, in
+            ticks.
+        rng: the single randomness source — seeded runs replay exactly.
+        link_factory: builds a :class:`LinkModel` per connection from
+            its path characteristics; defaults to a constant-rate link
+            matching the physical path (legacy behaviour).
+        stats: optional :class:`StatsRecorder` capturing per-connection
+            and per-node time series (zero overhead when omitted).
+        scheduler: an external event clock to share; a private one is
+            created by default.
+    """
 
     def __init__(
         self,
@@ -79,6 +179,9 @@ class OverlaySimulator:
         reconfigure_every: int = 20,
         refresh_every: int = 20,
         rng: Optional[random.Random] = None,
+        link_factory: Optional[LinkFactory] = None,
+        stats: Optional[StatsRecorder] = None,
+        scheduler: Optional[EventScheduler] = None,
     ):
         self.topology = topology
         self.family = sketch_family
@@ -88,11 +191,20 @@ class OverlaySimulator:
         self.reconfigure_every = reconfigure_every
         self.refresh_every = refresh_every
         self.rng = rng or random.Random()
+        self.link_factory = link_factory
+        self.stats = stats
+        self.scheduler = scheduler or EventScheduler()
         self.nodes: Dict[str, OverlayNode] = {}
         self.connections: Dict[tuple, Connection] = {}
         self._peelers: Dict[str, RecodedPeeler] = {}
         self.tick_count = 0
         self.reconfigurations = 0
+        # The legacy tick loop as one periodic event; a shared clock
+        # may already read past zero, so ticks count from its epoch.
+        self._epoch = self.scheduler.now
+        self._tick_handle = self.scheduler.schedule_every(
+            1.0, self._on_tick, first=self._epoch + 1.0
+        )
 
     # -- membership ----------------------------------------------------------
 
@@ -106,6 +218,28 @@ class OverlaySimulator:
             self._peelers[node.node_id] = RecodedPeeler(
                 known_ids=node.working_set.ids
             )
+        if self.stats is not None:
+            self.stats.gauge(
+                self.scheduler.now, node.node_id, "symbols", len(node.working_set)
+            )
+
+    def remove_node(self, node_id: str) -> Optional[OverlayNode]:
+        """Detach a node and all its connections (departure/failure).
+
+        Returns the node object (its working set intact — encoded
+        content never goes stale, Section 2.3) or None if unknown.
+        """
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            return None
+        for sender in list(self.topology.senders_of(node_id)):
+            self.disconnect(sender, node_id)
+        for receiver in list(self.topology.receivers_of(node_id)):
+            self.disconnect(node_id, receiver)
+        self._peelers.pop(node_id, None)
+        if node_id in self.topology.graph:
+            self.topology.graph.remove_node(node_id)
+        return node
 
     def connect(self, sender_id: str, receiver_id: str) -> bool:
         """Establish a connection, subject to admission control.
@@ -122,6 +256,11 @@ class OverlaySimulator:
             return False
         chars = self.topology.connect(sender_id, receiver_id)
         strategy = self._build_strategy(sender, receiver)
+        link = (
+            self.link_factory(chars, sender_id, receiver_id)
+            if self.link_factory is not None
+            else None
+        )
         self.connections[(sender_id, receiver_id)] = Connection(
             sender=sender,
             receiver=receiver,
@@ -129,6 +268,7 @@ class OverlaySimulator:
             bandwidth=chars.bandwidth,
             loss_rate=chars.loss_rate,
             established_tick=self.tick_count,
+            link=link,
         )
         return True
 
@@ -139,24 +279,37 @@ class OverlaySimulator:
     # -- simulation ---------------------------------------------------------------
 
     def tick(self) -> None:
-        """Advance one time step: deliver packets, maybe reconfigure."""
+        """Advance one time unit: fire the delivery event plus anything
+        scheduled between ticks (arrivals, scenario events)."""
+        self.scheduler.run_until(self._epoch + self.tick_count + 1.0)
+
+    def _on_tick(self) -> None:
+        """The periodic delivery/adaptation pass (the legacy tick body)."""
         self.tick_count += 1
+        now = self.scheduler.now
         for conn in list(self.connections.values()):
             if conn.receiver.is_complete:
                 continue
             if not conn.sender.is_source and conn.strategy is None:
                 continue  # sender has nothing to offer yet
-            for _ in range(conn.packets_this_tick()):
+            for _ in range(conn.link.packet_budget(now - 1.0, now)):
                 packet = self._compose(conn)
                 conn.packets_sent += 1
-                if self.rng.random() < conn.loss_rate:
+                if self.stats is not None:
+                    self.stats.count(now, conn.stats_name, "sent")
+                delay = conn.link.transmit(self.rng)
+                if delay is None:
                     conn.packets_lost += 1
+                    if self.stats is not None:
+                        self.stats.count(now, conn.stats_name, "lost")
                     continue
-                if self._deliver(conn.receiver, packet):
-                    conn.packets_useful += 1
+                if delay <= 0.0:
+                    self._arrive(conn, packet)
+                else:
+                    self.scheduler.schedule(
+                        delay, lambda c=conn, p=packet: self._arrive(c, p)
+                    )
                 if conn.receiver.is_complete:
-                    if conn.receiver.completed_at_tick is None:
-                        conn.receiver.completed_at_tick = self.tick_count
                     break
         if self.refresh_every and self.tick_count % self.refresh_every == 0:
             self._refresh_strategies()
@@ -167,8 +320,16 @@ class OverlaySimulator:
             self._reconfigure()
 
     def run(self, max_ticks: int = 10_000) -> SimulationReport:
-        """Tick until every non-source node completes (or the cap hits)."""
-        while self.tick_count < max_ticks and not self._all_complete():
+        """Tick until every non-source node completes (or the cap hits).
+
+        Completion also requires the heap to hold no one-shot events:
+        a pending join wave, departure, or in-flight arrival is
+        scheduled work the simulation has not finished — early
+        completion of the current membership must not skip it.
+        """
+        while self.tick_count < max_ticks and not (
+            self._all_complete() and self.scheduler.pending_oneshot == 0
+        ):
             self.tick()
         return self.report()
 
@@ -232,6 +393,24 @@ class OverlaySimulator:
             return Packet.encoded(conn.sender.mint_fresh_id())
         assert conn.strategy is not None
         return conn.strategy.next_packet()
+
+    def _arrive(self, conn: Connection, packet: Packet) -> None:
+        """A packet reaches its receiver (inline or latency-delayed)."""
+        receiver = conn.receiver
+        if receiver.node_id not in self._peelers:
+            return  # receiver departed while the packet was in flight
+        if receiver.is_complete:
+            return  # late arrival after completion: nothing to add
+        if self._deliver(receiver, packet):
+            conn.packets_useful += 1
+            if self.stats is not None:
+                now = self.scheduler.now
+                self.stats.count(now, conn.stats_name, "useful")
+                self.stats.gauge(
+                    now, receiver.node_id, "symbols", len(receiver.working_set)
+                )
+        if receiver.is_complete and receiver.completed_at_tick is None:
+            receiver.completed_at_tick = self.tick_count
 
     def _deliver(self, receiver: OverlayNode, packet: Packet) -> bool:
         """Feed a packet through the receiver's peeler; True if useful."""

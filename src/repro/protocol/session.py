@@ -36,6 +36,18 @@ class SessionStats:
     used_summary: bool = False
     estimated_correlation: float = 0.0
     completed: bool = False
+    #: Event-clock timestamps, populated when the session is bound to a
+    #: simulated clock (see the ``clock`` constructor argument and
+    #: :class:`repro.sim.sessions.ScheduledSession`).
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Simulated transfer time, when run under an event clock."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
 
     @property
     def control_fraction(self) -> float:
@@ -54,6 +66,7 @@ class TransferSession:
         bloom_bits_per_element: int = 8,
         partitioned_rho: int = 0,
         rng: Optional[random.Random] = None,
+        clock=None,
     ):
         """Args:
             sender/receiver: the two peers (shared code parameters).
@@ -64,6 +77,11 @@ class TransferSession:
                 as partitions arrive (for working sets too large to
                 summarise in one message).
             rng: randomness source.
+            clock: optional simulated clock (anything with a ``now``
+                attribute, e.g. :class:`repro.sim.engine.EventScheduler`);
+                when bound, the session stamps ``started_at`` and
+                ``finished_at`` on its stats so event-driven drivers can
+                report transfer durations.
         """
         if sender.params != receiver.params:
             raise ValueError("peers must share code parameters")
@@ -74,10 +92,12 @@ class TransferSession:
         self.bloom_bits = bloom_bits_per_element
         self.partitioned_rho = partitioned_rho
         self.rng = rng or random.Random()
+        self.clock = clock
         self.stats = SessionStats()
         self._domain: Optional[List[int]] = None
         self._partition_stream = None
         self._next_partition = 0
+        self._next_finalize: Optional[int] = None
 
     # -- handshake ------------------------------------------------------------
 
@@ -88,6 +108,8 @@ class TransferSession:
         content).  On success, a Bloom summary is shipped when the
         estimated correlation warrants fine-grained reconciliation.
         """
+        if self.clock is not None and self.stats.started_at is None:
+            self.stats.started_at = self.clock.now
         hello_r = self.receiver.hello()
         hello_s = self.sender.hello()
         self.stats.control_bytes += hello_r.wire_bytes() + hello_s.wire_bytes()
@@ -190,6 +212,39 @@ class TransferSession:
             self.stats.useful_packets += 1
         return msg
 
+    def stream_step(self, try_finalize: bool = True) -> bool:
+        """One step of the streaming loop; False when it cannot continue.
+
+        The shared per-packet bookkeeping of :meth:`run` and of
+        clock-paced drivers (:class:`repro.sim.sessions.
+        ScheduledSession`): stop once the receiver decoded, pull the
+        next summary partition when the recoding domain drains
+        (pipelined mode, §5.2), transmit one packet, and — with
+        ``try_finalize`` — attempt decode finalisation each time the
+        working set grows past the next overhead step, retrying after
+        ~1% more symbols when the Gaussian fallback comes up short.
+        """
+        if try_finalize and self.receiver.has_decoded:
+            return False
+        if (
+            not self.sender.is_source
+            and self._domain is not None
+            and self._domain_exhausted()
+        ):
+            # Pipelined mode can pull another partition; otherwise
+            # the sender genuinely has nothing useful left.
+            if not self.request_next_partition() or self._domain_exhausted():
+                return False
+        self.send_one()
+        if try_finalize:
+            target = self.receiver.params.recovery_target
+            if self._next_finalize is None:
+                self._next_finalize = target
+            if len(self.receiver.working_set) >= self._next_finalize:
+                if not self.receiver.try_finalize_decode():
+                    self._next_finalize += max(1, target // 100)
+        return True
+
     def run(
         self,
         max_packets: Optional[int] = None,
@@ -205,37 +260,25 @@ class TransferSession:
                 symbols.
         """
         if not self.handshake():
+            if self.clock is not None:
+                self.stats.finished_at = self.clock.now
             return self.stats
         target = self.receiver.params.recovery_target
         if max_packets is None:
             max_packets = 40 * target
         sent = 0
-        next_finalize = target
+        self._next_finalize = target
         while sent < max_packets:
-            if until_decoded and self.receiver.has_decoded:
-                break
             if not until_decoded and len(self.receiver.working_set) >= target:
                 break
-            if (
-                not self.sender.is_source
-                and self._domain is not None
-                and self._domain_exhausted()
-            ):
-                # Pipelined mode can pull another partition; otherwise
-                # the sender genuinely has nothing useful left.
-                if not self.request_next_partition() or self._domain_exhausted():
-                    break
-            self.send_one()
+            if not self.stream_step(try_finalize=until_decoded):
+                break
             sent += 1
-            if until_decoded and len(self.receiver.working_set) >= next_finalize:
-                # Past the nominal target: try the Gaussian fallback, and
-                # if still short, retry after ~1% more symbols arrive.
-                if self.receiver.try_finalize_decode():
-                    break
-                next_finalize += max(1, target // 100)
         self.stats.completed = (
             self.receiver.has_decoded
             if until_decoded
             else len(self.receiver.working_set) >= target
         )
+        if self.clock is not None:
+            self.stats.finished_at = self.clock.now
         return self.stats

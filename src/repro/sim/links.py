@@ -1,0 +1,295 @@
+"""Pluggable per-connection link models for the event engine.
+
+A :class:`LinkModel` answers two questions for the simulator:
+
+* :meth:`~LinkModel.packet_budget` — how many whole packets fit in a
+  time window, with fractional capacity carried as credit between
+  windows (never negative, floored with an epsilon so ten windows of
+  0.1 pkt really yield one packet);
+* :meth:`~LinkModel.transmit` — per packet, is it lost, and if not,
+  after what propagation delay does it arrive.
+
+Models:
+
+* :class:`ConstantRateLink` — fixed rate, Bernoulli loss, fixed
+  latency.  With zero latency this is exactly the legacy tick
+  simulator's connection behaviour (one RNG draw per packet).
+* :class:`LatencyJitterLink` — constant rate plus uniform jitter
+  around a base propagation delay.
+* :class:`GilbertElliottLink` — two-state Markov (good/bad) bursty
+  loss; chains may be shared across links to model correlated loss
+  (e.g. a congested inter-region trunk).
+* :class:`TraceBandwidthLink` — piecewise-constant bandwidth replayed
+  from a trace, in the style of trace-driven network simulators.
+"""
+
+import bisect
+import math
+import random
+from typing import Optional, Sequence
+
+#: Floor tolerance for fractional-credit accumulation: absorbs binary
+#: float representation error (0.1 summed ten times) without ever
+#: minting a packet more than 1e-9 early.
+CREDIT_EPS = 1e-9
+
+
+def drain_credit(credit: float, capacity: float) -> "tuple[int, float]":
+    """Add ``capacity`` to ``credit`` and split off whole packets.
+
+    The one fractional-bandwidth rule everywhere: credit is clamped at
+    zero (a stalled window never charges the future) and floored with
+    :data:`CREDIT_EPS` so the packet sequence is exactly periodic for
+    rational rates.  Returns ``(whole_packets, remaining_credit)``.
+    """
+    credit += capacity
+    if credit < 0.0:
+        credit = 0.0
+    whole = int(math.floor(credit + CREDIT_EPS))
+    return whole, max(0.0, credit - whole)
+
+
+class LinkModel:
+    """Base class: capacity and loss/latency behaviour of one link."""
+
+    def __init__(self, latency: float = 0.0):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+        self._credit = 0.0
+
+    # -- capacity -----------------------------------------------------------
+
+    def capacity_between(self, t0: float, t1: float) -> float:
+        """Fractional packet capacity of the window ``[t0, t1)``."""
+        raise NotImplementedError
+
+    def packet_budget(self, t0: float, t1: float) -> int:
+        """Whole packets transmittable in ``[t0, t1)``, carrying credit.
+
+        Credit is clamped at zero (a stalled or degraded window can
+        never charge the future) and floored with :data:`CREDIT_EPS`
+        so the sequence is exactly periodic for rational rates.
+        """
+        if t1 < t0:
+            raise ValueError("window must run forward")
+        whole, self._credit = drain_credit(
+            self._credit, self.capacity_between(t0, t1)
+        )
+        return whole
+
+    # -- per-packet fate ----------------------------------------------------
+
+    def transmit(self, rng: random.Random) -> Optional[float]:
+        """Fate of one packet: None if lost, else its arrival delay.
+
+        Implementations must draw from ``rng`` a deterministic number
+        of times per call so seeded runs replay exactly.
+        """
+        raise NotImplementedError
+
+
+class ConstantRateLink(LinkModel):
+    """Fixed rate, independent Bernoulli loss, fixed propagation delay."""
+
+    def __init__(self, rate: float, loss_rate: float = 0.0, latency: float = 0.0):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must lie in [0, 1)")
+        super().__init__(latency)
+        self.rate = rate
+        self.loss_rate = loss_rate
+
+    def capacity_between(self, t0: float, t1: float) -> float:
+        return self.rate * (t1 - t0)
+
+    def transmit(self, rng: random.Random) -> Optional[float]:
+        # Always one draw, even at loss_rate 0 — tick-parity depends on
+        # the legacy simulator's RNG consumption pattern.
+        if rng.random() < self.loss_rate:
+            return None
+        return self.latency
+
+
+class LatencyJitterLink(ConstantRateLink):
+    """Constant rate with uniform jitter around the base latency.
+
+    Arrival delay is ``latency + U(-jitter, +jitter)`` clamped to zero;
+    out-of-order arrival is possible (and intended) when jitter exceeds
+    the packet spacing.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        latency: float,
+        jitter: float,
+        loss_rate: float = 0.0,
+    ):
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        super().__init__(rate, loss_rate, latency)
+        self.jitter = jitter
+
+    def transmit(self, rng: random.Random) -> Optional[float]:
+        if rng.random() < self.loss_rate:
+            return None
+        if self.jitter == 0.0:
+            return self.latency
+        return max(0.0, self.latency + rng.uniform(-self.jitter, self.jitter))
+
+
+class GilbertElliottProcess:
+    """The two-state loss chain behind Gilbert-Elliott links.
+
+    A chain may be owned by one link (stepped per packet) or shared by
+    many (stepped by a scheduled event), in which case every sharing
+    link sees the same good/bad phase — correlated regional loss.
+    """
+
+    def __init__(
+        self,
+        p_good_bad: float,
+        p_bad_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+        start_bad: bool = False,
+    ):
+        for name, p in (("p_good_bad", p_good_bad), ("p_bad_good", p_bad_good)):
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"{name} must lie in (0, 1]")
+        for name, p in (("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = start_bad
+
+    def step(self, rng: random.Random) -> None:
+        """Advance the chain one transition."""
+        if self.bad:
+            if rng.random() < self.p_bad_good:
+                self.bad = False
+        elif rng.random() < self.p_good_bad:
+            self.bad = True
+
+    @property
+    def current_loss_rate(self) -> float:
+        return self.loss_bad if self.bad else self.loss_good
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run loss rate: the chain's stationary mixture."""
+        pi_bad = self.p_good_bad / (self.p_good_bad + self.p_bad_good)
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+
+class GilbertElliottLink(LinkModel):
+    """Constant-rate link with bursty (Gilbert-Elliott) loss.
+
+    Args:
+        rate: packets per time unit.
+        process: an existing chain to share; when None a private chain
+            is built from the ``p_*``/``loss_*`` arguments and stepped
+            once per packet.
+        step_per_packet: step the chain on each transmit (private-chain
+            default).  Pass False for shared chains stepped externally.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        p_good_bad: float = 0.05,
+        p_bad_good: float = 0.3,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+        latency: float = 0.0,
+        process: Optional[GilbertElliottProcess] = None,
+        step_per_packet: Optional[bool] = None,
+    ):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        super().__init__(latency)
+        self.rate = rate
+        if process is None:
+            process = GilbertElliottProcess(
+                p_good_bad, p_bad_good, loss_good, loss_bad
+            )
+            if step_per_packet is None:
+                step_per_packet = True
+        elif step_per_packet is None:
+            step_per_packet = False
+        self.process = process
+        self.step_per_packet = step_per_packet
+
+    def capacity_between(self, t0: float, t1: float) -> float:
+        return self.rate * (t1 - t0)
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        return self.process.stationary_loss_rate
+
+    def transmit(self, rng: random.Random) -> Optional[float]:
+        if self.step_per_packet:
+            self.process.step(rng)
+        if rng.random() < self.process.current_loss_rate:
+            return None
+        return self.latency
+
+
+class TraceBandwidthLink(LinkModel):
+    """Bandwidth replayed from a piecewise-constant trace.
+
+    Args:
+        times: ascending breakpoints; ``rates[i]`` holds on
+            ``[times[i], times[i+1])`` and ``rates[-1]`` forever after
+            the last breakpoint.  Before ``times[0]`` the rate is
+            ``rates[0]``.
+        rates: packets per time unit per segment.
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        rates: Sequence[float],
+        loss_rate: float = 0.0,
+        latency: float = 0.0,
+    ):
+        if len(times) != len(rates) or not times:
+            raise ValueError("times and rates must be equal-length and non-empty")
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly ascending")
+        if any(r < 0 for r in rates):
+            raise ValueError("trace rates must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must lie in [0, 1)")
+        super().__init__(latency)
+        self.times = list(times)
+        self.rates = list(rates)
+        self.loss_rate = loss_rate
+
+    def rate_at(self, t: float) -> float:
+        """Trace rate in force at time ``t``."""
+        idx = bisect.bisect_right(self.times, t) - 1
+        return self.rates[max(0, idx)]
+
+    def capacity_between(self, t0: float, t1: float) -> float:
+        """Integral of the trace over ``[t0, t1)``."""
+        total = 0.0
+        cursor = t0
+        while cursor < t1:
+            idx = bisect.bisect_right(self.times, cursor) - 1
+            seg_rate = self.rates[max(0, idx)]
+            seg_end = self.times[idx + 1] if 0 <= idx + 1 < len(self.times) else t1
+            upto = min(t1, seg_end if seg_end > cursor else t1)
+            total += seg_rate * (upto - cursor)
+            cursor = upto
+        return total
+
+    def transmit(self, rng: random.Random) -> Optional[float]:
+        if rng.random() < self.loss_rate:
+            return None
+        return self.latency

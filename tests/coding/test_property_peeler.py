@@ -1,0 +1,98 @@
+"""Property tests for the recoded-symbol peeler (arrival-order invariance).
+
+A solvable recoded batch must peel to the same recovered set no matter
+the order packets arrive in ("recoded symbols which are not immediately
+useful are often eventually useful"), and ``recoded_useless`` must
+count exactly the fully-redundant arrivals.
+
+The batch construction guarantees both properties analytically: chain
+symbol ``i`` blends the first ``i`` missing ids with already-known ids,
+so each chain symbol resolves exactly one missing id (it can never
+arrive fully known — its own id is recoverable only by itself), while
+redundant symbols draw constituents solely from the initially known
+set, so they are useless at arrival under every permutation.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import RecodedPeeler, RecodedSymbol
+
+
+def build_batch(num_known, num_missing, num_redundant, rng):
+    """A solvable chain over missing ids plus fully-redundant blends."""
+    known = list(range(num_known))
+    missing = list(range(1000, 1000 + num_missing))
+    rng.shuffle(missing)
+    batch = []
+    for i in range(1, num_missing + 1):
+        mix = rng.sample(known, rng.randrange(0, min(3, num_known) + 1))
+        batch.append(RecodedSymbol(frozenset(missing[:i]) | frozenset(mix)))
+    for _ in range(num_redundant):
+        size = rng.randrange(1, min(4, num_known) + 1)
+        batch.append(RecodedSymbol(frozenset(rng.sample(known, size))))
+    return set(known), set(missing), batch
+
+
+class TestArrivalOrderInvariance:
+    @given(
+        num_known=st.integers(min_value=1, max_value=12),
+        num_missing=st.integers(min_value=1, max_value=10),
+        num_redundant=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        order_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_any_order_recovers_same_set_and_counts_useless(
+        self, num_known, num_missing, num_redundant, seed, order_seed
+    ):
+        known, missing, batch = build_batch(
+            num_known, num_missing, num_redundant, random.Random(seed)
+        )
+        arrival = list(batch)
+        random.Random(order_seed).shuffle(arrival)
+
+        peeler = RecodedPeeler(known_ids=known)
+        recovered = []
+        for symbol in arrival:
+            recovered.extend(peeler.add_recoded(symbol))
+
+        # Same final set under every permutation: everything solvable
+        # was solved, nothing is left pending.
+        assert peeler.known_ids == known | missing
+        assert sorted(recovered) == sorted(missing)
+        assert peeler.pending_count == 0
+        # Useless counts exactly the fully-redundant arrivals.
+        assert peeler.recoded_received == len(batch)
+        assert peeler.recoded_useless == num_redundant
+
+    @given(
+        num_known=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_redundant_only_batch_recovers_nothing(self, num_known, seed):
+        rng = random.Random(seed)
+        known, _, batch = build_batch(num_known, 0, 5, rng)
+        peeler = RecodedPeeler(known_ids=known)
+        for symbol in batch:
+            assert peeler.add_recoded(symbol) == []
+        assert peeler.known_ids == known
+        assert peeler.recoded_useless == 5
+
+    @given(
+        num_missing=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reversed_vs_forward_order_agree(self, num_missing, seed):
+        known, missing, batch = build_batch(5, num_missing, 2, random.Random(seed))
+        outcomes = []
+        for order in (batch, list(reversed(batch))):
+            peeler = RecodedPeeler(known_ids=known)
+            for symbol in order:
+                peeler.add_recoded(symbol)
+            outcomes.append((peeler.known_ids, peeler.recoded_useless))
+        assert outcomes[0] == outcomes[1]

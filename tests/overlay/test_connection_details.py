@@ -35,6 +35,100 @@ class TestFractionalBandwidth:
         )
         assert conn.packets_this_tick() == 3
 
+    def _conn(self, bandwidth):
+        return Connection(
+            sender=OverlayNode("s", 10, is_source=True),
+            receiver=OverlayNode("r", 10),
+            strategy=None, bandwidth=bandwidth, loss_rate=0.0,
+            established_tick=0,
+        )
+
+    def test_credit_sequence_pinned(self):
+        # The exact credit sequence for bandwidth 0.3: one packet on
+        # every third tick, exactly periodic (no float drift, no RNG).
+        conn = self._conn(0.3)
+        seq = [conn.packets_this_tick() for _ in range(12)]
+        assert seq == [0, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0]
+
+    def test_credit_sequence_survives_float_representation(self):
+        # 0.1 is inexact in binary; ten ticks must still yield exactly
+        # one packet (the epsilon floor), and 1000 ticks exactly 100.
+        conn = self._conn(0.1)
+        seq = [conn.packets_this_tick() for _ in range(1000)]
+        assert seq[9] == 1 and sum(seq[:10]) == 1
+        assert sum(seq) == 100
+
+    def test_credit_is_deterministic_and_rng_free(self):
+        import random as _random
+
+        state_before = _random.getstate()
+        conn_a, conn_b = self._conn(0.7), self._conn(0.7)
+        a = [conn_a.packets_this_tick() for _ in range(10)]
+        b = [conn_b.packets_this_tick() for _ in range(10)]
+        assert a == b == [0, 1, 1, 0, 1, 1, 0, 1, 1, 1]
+        assert _random.getstate() == state_before  # no global RNG use
+
+    def test_credit_cannot_drift_negative(self):
+        conn = self._conn(0.0)
+        for _ in range(50):
+            assert conn.packets_this_tick() == 0
+            assert conn._legacy_credit >= 0.0
+
+    def test_hand_driving_does_not_drain_the_live_link(self):
+        # The legacy per-tick API keeps its own accumulator, so probing
+        # it never steals budget from the event engine's link charging.
+        conn = self._conn(0.5)
+        assert [conn.packets_this_tick() for _ in range(4)] == [0, 1, 0, 1]
+        assert conn.link.packet_budget(0.0, 4.0) == 2  # link credit untouched
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            self._conn(-1.0)
+
+    def test_replacing_link_ends_auto_coupling(self):
+        from repro.sim import GilbertElliottLink
+
+        conn = self._conn(2.0)
+        conn.link = GilbertElliottLink(3.0)
+        conn.loss_rate = 0.2  # must not try to steer the custom link
+        assert conn.link.rate == 3.0
+
+
+class TestEventClockEdges:
+    def test_late_arrival_after_receiver_departs(self):
+        # A latency-delayed packet must not crash when its receiver was
+        # removed while it was in flight.
+        from repro.sim import ConstantRateLink
+
+        fam = default_family()
+        sim = OverlaySimulator(
+            VirtualTopology(), fam, rng=random.Random(11),
+            link_factory=lambda chars, s, r: ConstantRateLink(2.0, latency=1.5),
+        )
+        sim.add_node(OverlayNode("s", 50, is_source=True))
+        sim.add_node(OverlayNode("p", 50))
+        sim.connect("s", "p")
+        sim.tick()  # packets now in flight, arriving at t=2.5
+        sim.remove_node("p")
+        sim.tick()  # must not raise
+        sim.tick()
+        assert "p" not in sim.nodes
+
+    def test_shared_scheduler_with_nonzero_start(self):
+        from repro.sim import EventScheduler
+
+        fam = default_family()
+        sched = EventScheduler(start=5.0)
+        sim = OverlaySimulator(
+            VirtualTopology(), fam, rng=random.Random(12), scheduler=sched
+        )
+        sim.add_node(OverlayNode("s", 30, is_source=True))
+        sim.add_node(OverlayNode("p", 30))
+        sim.connect("s", "p")
+        report = sim.run(max_ticks=100)
+        assert report.all_complete
+        assert sched.now == 5.0 + report.ticks
+
 
 class TestSimulationReport:
     def test_efficiency_no_packets(self):
