@@ -3,8 +3,16 @@
 Every benchmark regenerates one of the paper's tables or figures and
 prints the rows/series it reports, so `pytest benchmarks/ --benchmark-only -s`
 doubles as the experiment log behind EXPERIMENTS.md.
+
+Benchmarks that produce :class:`repro.api.RunResult`s can persist them
+with :func:`write_bench_json`: set ``REPRO_BENCH_JSON=<dir>`` and each
+call writes ``BENCH_<name>.json`` in the shared
+``repro.run_result/1`` schema (the same format ``python -m repro.api``
+emits), so benchmark dumps, CLI output, and library results are one
+file format.
 """
 
+import json
 import os
 import sys
 
@@ -18,3 +26,26 @@ def print_series(title, rows):
     print(f"\n== {title} ==")
     for row in rows:
         print(row)
+
+
+def write_bench_json(name, results):
+    """Persist benchmark results in the shared run-result schema.
+
+    Args:
+        name: benchmark identifier; the file is ``BENCH_<name>.json``.
+        results: a list of :class:`repro.api.RunResult` (serialised via
+            ``to_dict``) and/or already-plain dicts in the same schema.
+
+    Returns the path written, or None when ``REPRO_BENCH_JSON`` is
+    unset (the default: benchmarks stay side-effect free).
+    """
+    out_dir = os.environ.get("REPRO_BENCH_JSON")
+    if not out_dir:
+        return None
+    payload = [r.to_dict() if hasattr(r, "to_dict") else r for r in results]
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+    return path

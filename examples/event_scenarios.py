@@ -23,20 +23,28 @@ Run:  python examples/event_scenarios.py
 import random
 import sys
 
+from repro.api import run, specs
 from repro.protocol import CodeParameters, ProtocolPeer, TransferSession
 from repro.sim import ConstantRateLink, EventScheduler, StatsRecorder
-from repro.sim.scenarios import SCENARIOS
 from repro.sim.sessions import ScheduledSession, run_sessions
+
+#: The four catalog scenarios, now one declarative spec each.
+CATALOG_SPECS = {
+    "flash_crowd": specs.flash_crowd,
+    "source_departure": specs.source_departure,
+    "asymmetric_bandwidth": specs.asymmetric_bandwidth,
+    "correlated_regional_loss": specs.correlated_regional_loss,
+}
 
 
 def demo_catalog():
     print("=" * 68)
-    print("1. Scenario catalog under the event clock")
+    print("1. Scenario catalog under the event clock (repro.api specs)")
     print("=" * 68)
     ok = True
-    for name, factory in SCENARIOS.items():
-        scenario = factory()
-        report = scenario.run(max_ticks=10_000)
+    for name, make_spec in CATALOG_SPECS.items():
+        result = run(make_spec())
+        report = result.report
         ok = ok and report.all_complete
         finishes = [t for t in report.completion_ticks.values() if t is not None]
         print(f"\n-- {name} --")
@@ -46,7 +54,7 @@ def demo_catalog():
         )
         if finishes:
             print(f"completion spread: first {min(finishes)}, last {max(finishes)}")
-        for event in scenario.events[:6]:
+        for event in result.events[:6]:
             print(f"  event: {event}")
     return ok
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Run a declarative experiment spec: ``scripts/run_experiment.py --spec f.json``.
+
+A thin launcher around ``python -m repro.api`` that works from a source
+checkout without installing the package (it puts ``src/`` on the path).
+See ``--help`` for the full CLI.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.api.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,20 @@ Subpackages:
 * :mod:`repro.analysis` — closed-form helpers (coupon collector, Bloom
   FP, recode degree optimisation).
 * :mod:`repro.experiments` — regenerators for every paper table/figure.
+* :mod:`repro.api` — the declarative experiment pipeline: frozen
+  :class:`~repro.api.ExperimentSpec` values, a string-keyed scenario
+  registry, and one :func:`~repro.api.run` entry point returning a
+  structured :class:`~repro.api.RunResult`.
+* :mod:`repro.seeding` — deterministic RNG derivation from a master
+  seed (:func:`~repro.seeding.derive_rng`).
+
+Declarative experiments::
+
+    from repro import ExperimentSpec, run
+    from repro.api import specs
+
+    result = run(specs.flash_crowd(num_peers=48, seed=11))
+    print(result.metrics)
 """
 
 __version__ = "1.0.0"
@@ -50,10 +64,26 @@ from repro.delivery import (
 )
 from repro.filters import BloomFilter
 from repro.hashing import PermutationFamily
+from repro.seeding import derive_rng, derive_seed
 from repro.sketches import MinwiseSketch
+
+
+def __getattr__(name):
+    # Lazy: the experiment pipeline pulls in the overlay/protocol/sim
+    # stack, which `import repro` for a Bloom filter shouldn't pay for.
+    if name in ("ExperimentSpec", "RunResult", "run"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "__version__",
+    "ExperimentSpec",
+    "RunResult",
+    "run",
+    "derive_rng",
+    "derive_seed",
     "ApproximateReconciliationTree",
     "BloomFilter",
     "DegreeDistribution",

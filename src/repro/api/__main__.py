@@ -1,0 +1,125 @@
+"""Command-line experiment runner: ``python -m repro.api``.
+
+Usage::
+
+    python -m repro.api --list
+    python -m repro.api --spec flash_crowd.json [--out result.json]
+    python -m repro.api --scenario flash_crowd --seed 7
+    python -m repro.api --scenario flash_crowd --print-spec > spec.json
+
+``--spec`` runs a JSON :class:`~repro.api.ExperimentSpec` from disk;
+``--scenario`` runs a registered scenario's miniature spec (a quick
+smoke / template).  Results print as the shared
+:data:`~repro.api.RESULT_SCHEMA` JSON, so CLI output, benchmark dumps,
+and ``RunResult.to_json`` are one format.
+"""
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.api import registry, run
+from repro.api.spec import ExperimentSpec, SpecError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api",
+        description="Run a declarative experiment spec through repro.api.run().",
+        epilog=(
+            "exit status: 0 = ran and completed; 1 = ran but did not reach "
+            "completion (a legitimate outcome for some sweeps — the result "
+            "is still printed/written); 2 = usage or spec error"
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--spec", metavar="FILE", help="path to an ExperimentSpec JSON file"
+    )
+    source.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="run a registered scenario's miniature spec",
+    )
+    source.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the spec's master seed"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the result JSON here instead of stdout"
+    )
+    parser.add_argument(
+        "--series",
+        action="store_true",
+        help="include the full time-series rows in the result JSON",
+    )
+    parser.add_argument(
+        "--print-spec",
+        action="store_true",
+        help="print the resolved spec JSON and exit without running",
+    )
+    return parser
+
+
+def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                spec = ExperimentSpec.from_json(fh.read())
+        except OSError as exc:
+            raise SpecError(f"cannot read spec file {args.spec!r}: {exc}") from exc
+    else:
+        spec = registry.small_spec(args.scenario)
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    return spec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in registry.names():
+            entry = registry.get(name)
+            print(f"{name:26s} {entry.description}")
+        return 0
+    if not args.spec and not args.scenario:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: one of --spec, --scenario, or --list is required",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        spec = _load_spec(args)
+        if args.print_spec:
+            print(spec.to_json())
+            return 0
+        result = run(spec)
+    except (SpecError, registry.UnknownScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    payload = result.to_json(include_series=args.series)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        metrics = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(result.metrics.items())
+        )
+        print(
+            f"{result.scenario} seed={result.seed} "
+            f"completed={result.completed} {metrics}\nwrote {args.out}"
+        )
+    else:
+        print(payload)
+    return 0 if result.completed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""String-keyed scenario registry.
+
+A *scenario* is an interpreter for :class:`~repro.api.spec.
+ExperimentSpec`s: a builder callable taking a spec and returning a
+:class:`~repro.api.runner.BuiltExperiment`.  Builders register under a
+stable name with the :func:`scenario` decorator; :func:`repro.api.run`
+dispatches on ``spec.scenario``.
+
+Each registration also supplies a ``small_spec`` factory — a miniature
+but complete spec for that scenario — which powers the tier-1 smoke
+test (every registered scenario runs end-to-end in milliseconds) and
+the ``python -m repro.api --scenario <name>`` CLI path.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.api.spec import ExperimentSpec, SpecError
+
+
+class UnknownScenarioError(KeyError):
+    """Lookup of a scenario name that nothing registered."""
+
+    def __init__(self, name: str, known: List[str]):
+        super().__init__(name)
+        self.scenario = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return (
+            f"unknown scenario {self.scenario!r}; registered scenarios: "
+            f"{', '.join(self.known) or '(none)'}"
+        )
+
+
+@dataclass
+class ScenarioEntry:
+    """One registered scenario: builder, docs, and a miniature spec."""
+
+    name: str
+    builder: Callable[[ExperimentSpec], object]
+    small_spec: Optional[Callable[[], ExperimentSpec]] = None
+    description: str = ""
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def scenario(
+    name: str,
+    small_spec: Optional[Callable[[], ExperimentSpec]] = None,
+    description: str = "",
+) -> Callable:
+    """Class/function decorator registering a spec builder under ``name``."""
+
+    def register(builder: Callable[[ExperimentSpec], object]) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        doc_lines = (builder.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = ScenarioEntry(
+            name=name,
+            builder=builder,
+            small_spec=small_spec,
+            description=description or (doc_lines[0] if doc_lines else ""),
+        )
+        return builder
+
+    return register
+
+
+def get(name: str) -> ScenarioEntry:
+    """The registry entry for ``name`` (:class:`UnknownScenarioError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, names()) from None
+
+
+def names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def small_spec(name: str) -> ExperimentSpec:
+    """The miniature spec registered for ``name`` (for smoke runs)."""
+    entry = get(name)
+    if entry.small_spec is None:
+        raise SpecError(
+            f"scenario {name!r} is registered but supplied no miniature "
+            f"spec; pass small_spec= to its @scenario registration"
+        )
+    return entry.small_spec()
+
+
+def small_specs() -> Dict[str, ExperimentSpec]:
+    """Every scenario's miniature spec, by name."""
+    return {n: _REGISTRY[n].small_spec() for n in names() if _REGISTRY[n].small_spec}
+
+
+__all__ = [
+    "UnknownScenarioError",
+    "ScenarioEntry",
+    "scenario",
+    "get",
+    "names",
+    "small_spec",
+    "small_specs",
+]

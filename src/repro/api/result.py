@@ -1,0 +1,110 @@
+"""Structured results of a spec-driven experiment run.
+
+Every :func:`repro.api.run` returns a :class:`RunResult` with the same
+shape regardless of which scenario produced it: a flat ``metrics``
+mapping (the numbers a benchmark or figure would report), the richer
+layer-specific objects when they exist (a swarm's
+:class:`~repro.overlay.simulator.SimulationReport`, a delivery run's
+:class:`~repro.delivery.transfer.TransferResult`, per-node
+:class:`~repro.protocol.session.SessionStats`), the
+:class:`~repro.sim.stats.StatsRecorder` time series, and the event log.
+
+:meth:`RunResult.to_dict` is the one JSON schema
+(:data:`RESULT_SCHEMA`) shared by ``RunResult.to_json``, the
+``python -m repro.api`` CLI, and the ``BENCH_*.json`` files the
+benchmark suite can emit — one format to archive, diff, and plot.
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api.spec import ExperimentSpec
+from repro.delivery.transfer import TransferResult
+from repro.overlay.simulator import SimulationReport
+from repro.protocol.session import SessionStats
+from repro.sim.stats import StatsRecorder
+
+#: Schema tag stamped into every serialised result.
+RESULT_SCHEMA = "repro.run_result/1"
+
+
+@dataclass
+class RunResult:
+    """The structured outcome of one :func:`repro.api.run`."""
+
+    spec: ExperimentSpec
+    completed: bool
+    #: Flat numeric summary — the scenario's reportable numbers
+    #: (overhead, speedup, ticks, packets...); keys are stable per
+    #: scenario and shared with the serialised schema.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Swarm runs: the overlay simulator's aggregate report.
+    report: Optional[SimulationReport] = None
+    #: Delivery runs: the transfer loop's outcome.
+    transfer: Optional[TransferResult] = None
+    #: Protocol runs: byte-accounted session stats per receiving node.
+    node_sessions: Dict[str, SessionStats] = field(default_factory=dict)
+    #: Time series captured during the run (None when disabled).
+    stats: Optional[StatsRecorder] = None
+    #: Human-readable scenario event log (waves, departures, ...).
+    events: List[str] = field(default_factory=list)
+    #: Scenario-specific artefacts that have no schema home (join
+    #: plans, shared loss processes); not serialised.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def scenario(self) -> str:
+        return self.spec.scenario
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def overhead(self) -> Optional[float]:
+        """Reception overhead: packets spent per needed symbol.
+
+        Delivery runs report the Figure 5 metric directly; swarm runs
+        report delivered packets per useful packet (1.0 = every
+        delivered packet advanced a receiver).
+        """
+        if "overhead" in self.metrics:
+            return self.metrics["overhead"]
+        if self.report is not None:
+            delivered = self.report.packets_sent - self.report.packets_lost
+            if self.report.packets_useful:
+                return delivered / self.report.packets_useful
+        return None
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self, include_series: bool = False) -> Dict[str, Any]:
+        """The shared result schema (:data:`RESULT_SCHEMA`).
+
+        ``include_series`` adds the full ``(entity, metric, time,
+        value)`` time-series rows, which can be large.
+        """
+        out: Dict[str, Any] = {
+            "schema": RESULT_SCHEMA,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "completed": self.completed,
+            "metrics": dict(sorted(self.metrics.items())),
+            "events": list(self.events),
+            "node_sessions": {
+                node: stats.to_dict() for node, stats in sorted(self.node_sessions.items())
+            },
+            "spec": self.spec.to_dict(),
+        }
+        if include_series and self.stats is not None:
+            out["series"] = [list(row) for row in self.stats.to_rows()]
+        return out
+
+    def to_json(self, indent: Optional[int] = 2, include_series: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(include_series=include_series), indent=indent, sort_keys=True
+        )
+
+
+__all__ = ["RESULT_SCHEMA", "RunResult"]

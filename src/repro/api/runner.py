@@ -1,0 +1,52 @@
+"""The single entry point: ``build(spec)`` / ``run(spec) -> RunResult``.
+
+``run`` is the whole pipeline the repo's scenario catalogs, figure
+scripts, benchmarks, and CLI now share: look the spec's scenario up in
+the registry, let its builder construct topology, link models,
+sessions, and strategies (every RNG derived from the spec's master
+seed), execute, and return a structured :class:`~repro.api.result.
+RunResult`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.api import registry
+from repro.api.result import RunResult
+from repro.api.spec import ExperimentSpec
+
+
+@dataclass
+class BuiltExperiment:
+    """A spec interpreted but not yet executed.
+
+    ``kind`` tags the layer the scenario runs at: ``"swarm"`` (overlay
+    simulator — ``scenario`` holds the ready-to-run
+    :class:`~repro.sim.scenarios.SimScenario`), ``"transfer"``
+    (delivery loops), or ``"sessions"`` (byte-level protocol sessions).
+    """
+
+    spec: ExperimentSpec
+    kind: str
+    runner: Callable[["BuiltExperiment"], RunResult]
+    #: Swarm scenarios: the legacy scenario bundle (simulator + stats +
+    #: event log), exposed so deprecation shims and hands-on callers can
+    #: drive it directly.
+    scenario: Optional[object] = field(default=None)
+
+    def run(self) -> RunResult:
+        """Execute the experiment and collect its :class:`RunResult`."""
+        return self.runner(self)
+
+
+def build(spec: ExperimentSpec) -> BuiltExperiment:
+    """Interpret a spec: construct the experiment without running it."""
+    return registry.get(spec.scenario).builder(spec)
+
+
+def run(spec: ExperimentSpec) -> RunResult:
+    """Build and execute a spec; the one-call experiment pipeline."""
+    return build(spec).run()
+
+
+__all__ = ["BuiltExperiment", "build", "run"]

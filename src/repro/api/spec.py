@@ -1,0 +1,414 @@
+"""Frozen, JSON-round-trippable experiment specifications.
+
+An :class:`ExperimentSpec` is the single declarative description of an
+experiment: which registered scenario interprets it, the master seed,
+and the component specs — swarm population (:class:`SwarmSpec` of
+:class:`NodeSpec` groups), link classes (:class:`LinkSpec` selected by
+:class:`LinkRuleSpec`), sender strategy (:class:`StrategySpec`),
+membership churn (:class:`ChurnSpec`), and measurement knobs
+(:class:`MeasurementSpec`).  Specs are immutable values: they hash,
+compare, and round-trip through JSON losslessly (``spec ==
+ExperimentSpec.from_json(spec.to_json())``), so a spec file *is* the
+experiment and can be diffed, archived, and re-run bit-identically.
+
+Construction helpers for the scenario catalog live in
+:mod:`repro.api.builders`; :func:`repro.api.run` executes a spec.
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Link model kinds a :class:`LinkSpec` may name.
+LINK_KINDS = ("constant", "latency_jitter", "gilbert_elliott")
+
+#: Initial working-set rules a :class:`NodeSpec` may name.
+SEEDING_RULES = ("empty", "fixed", "uniform")
+
+#: Bases the seeding fraction may be taken against.
+SEED_BASES = ("target", "distinct")
+
+#: Node roles.
+NODE_ROLES = ("peer", "source")
+
+
+class SpecError(ValueError):
+    """A spec failed validation or deserialisation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _require_int(value: object, name: str) -> None:
+    """Strict integer check: a JSON 7.5 (or true) must not pass as 7."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{name} must be an integer, got {value!r}")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link model class, by kind and parameters.
+
+    ``shared_key`` couples links: every link built from rules whose
+    specs carry the same non-empty key shares one loss process (the
+    correlated-loss trunk of
+    :func:`repro.api.builders.correlated_regional_loss`).
+    """
+
+    kind: str = "constant"
+    rate: float = 1.0
+    loss_rate: float = 0.0
+    latency: float = 0.0
+    jitter: float = 0.0
+    p_good_bad: float = 0.05
+    p_bad_good: float = 0.3
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+    shared_key: str = ""
+
+    def __post_init__(self) -> None:
+        # Bounds mirror the link-model constructors exactly, so a spec
+        # that validates can always be built.
+        _require(self.kind in LINK_KINDS, f"unknown link kind {self.kind!r}; expected one of {LINK_KINDS}")
+        _require(self.rate >= 0.0, "link rate must be non-negative")
+        _require(self.latency >= 0.0, "latency must be non-negative")
+        _require(self.jitter >= 0.0, "jitter must be non-negative")
+        _require(0.0 <= self.loss_rate < 1.0, "loss_rate must lie in [0, 1)")
+        for field_name in ("loss_good", "loss_bad"):
+            value = getattr(self, field_name)
+            _require(0.0 <= value <= 1.0, f"{field_name} must lie in [0, 1]")
+        if self.kind == "gilbert_elliott":
+            for field_name in ("p_good_bad", "p_bad_good"):
+                value = getattr(self, field_name)
+                _require(0.0 < value <= 1.0, f"{field_name} must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class LinkRuleSpec:
+    """Maps (sender class, receiver class) to a link class; ``*`` matches all.
+
+    Rules are tried in order; the first match wins.
+    """
+
+    sender_class: str = "*"
+    receiver_class: str = "*"
+    link: LinkSpec = LinkSpec()
+
+    def matches(self, sender_class: str, receiver_class: str) -> bool:
+        return self.sender_class in ("*", sender_class) and self.receiver_class in (
+            "*",
+            receiver_class,
+        )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A *group* of nodes sharing a role, class, and seeding rule.
+
+    Members are named ``f"{name}{i}"`` for ``i in range(count)`` —
+    except single-member source groups, which use ``name`` verbatim
+    (the catalog's ``"src"``).
+
+    Seeding rules (initial working set, sampled from the scenario RNG):
+
+    * ``empty`` — starts with nothing;
+    * ``fixed`` — exactly ``int(basis * seed_fraction)`` symbols;
+    * ``uniform`` — a uniform count in ``[0, int(basis * seed_fraction))``;
+
+    where ``basis`` is the swarm target or its distinct-symbol count per
+    ``seed_basis``.
+    """
+
+    name: str = "p"
+    count: int = 1
+    role: str = "peer"
+    node_class: str = ""
+    seeding: str = "empty"
+    seed_fraction: float = 0.0
+    seed_basis: str = "target"
+    max_connections: int = 3
+
+    def __post_init__(self) -> None:
+        _require_int(self.count, "node count")
+        _require_int(self.max_connections, "max_connections")
+        _require(self.count >= 0, "node count must be non-negative")
+        _require(self.role in NODE_ROLES, f"unknown node role {self.role!r}; expected one of {NODE_ROLES}")
+        _require(self.seeding in SEEDING_RULES, f"unknown seeding rule {self.seeding!r}; expected one of {SEEDING_RULES}")
+        _require(self.seed_basis in SEED_BASES, f"unknown seed basis {self.seed_basis!r}; expected one of {SEED_BASES}")
+        _require(0.0 <= self.seed_fraction <= 1.0, "seed_fraction must lie in [0, 1]")
+
+    def member_ids(self) -> Tuple[str, ...]:
+        """The concrete node ids this group expands to."""
+        if self.role == "source" and self.count == 1:
+            return (self.name,)
+        return tuple(f"{self.name}{i}" for i in range(self.count))
+
+
+@dataclass(frozen=True)
+class SwarmSpec:
+    """The population and wiring substrate of a swarm experiment."""
+
+    target: int = 100
+    distinct_multiplier: float = 1.2
+    nodes: Tuple[NodeSpec, ...] = ()
+    links: Tuple[LinkRuleSpec, ...] = ()
+    reconfigure_every: int = 20
+
+    def __post_init__(self) -> None:
+        _require_int(self.target, "swarm target")
+        _require_int(self.reconfigure_every, "reconfigure_every")
+        _require(self.target > 0, "swarm target must be positive")
+        _require(self.distinct_multiplier >= 1.0, "distinct_multiplier must be >= 1.0")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "links", tuple(self.links))
+
+    @property
+    def distinct_symbols(self) -> int:
+        """Distinct symbols in the system (``int(multiplier * target)``)."""
+        return int(self.target * self.distinct_multiplier)
+
+    def group(self, name: str) -> NodeSpec:
+        """The node group named ``name`` (:class:`SpecError` if absent)."""
+        for ns in self.nodes:
+            if ns.name == name:
+                return ns
+        raise SpecError(
+            f"swarm has no node group {name!r}; groups: "
+            f"{[ns.name for ns in self.nodes]}"
+        )
+
+    def link_for(self, sender_class: str, receiver_class: str) -> Optional[LinkSpec]:
+        """First matching link rule's spec, or None (use path defaults)."""
+        for rule in self.links:
+            if rule.matches(sender_class, receiver_class):
+                return rule.link
+        return None
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Sender strategy selection (the Figure 5-8 legend) and summary budget."""
+
+    name: str = "Recode/BF"
+    bloom_bits_per_element: int = 8
+
+    def __post_init__(self) -> None:
+        _require_int(self.bloom_bits_per_element, "bloom_bits_per_element")
+        _require(self.bloom_bits_per_element > 0, "bloom_bits_per_element must be positive")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Scheduled membership disturbance: join waves and departures."""
+
+    join_waves: int = 0
+    wave_interval: float = 0.0
+    depart_node: str = ""
+    depart_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_int(self.join_waves, "join_waves")
+        _require(self.join_waves >= 0, "join_waves must be non-negative")
+        _require(self.wave_interval >= 0.0, "wave_interval must be non-negative")
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """What to measure and how long to run."""
+
+    max_ticks: int = 10_000
+    resolution: float = 1.0
+    record_series: bool = True
+    max_packets: int = 0  # 0 = let the transfer loop derive its default
+
+    def __post_init__(self) -> None:
+        _require_int(self.max_ticks, "max_ticks")
+        _require_int(self.max_packets, "max_packets")
+        _require(self.max_ticks > 0, "max_ticks must be positive")
+        _require(self.resolution > 0, "resolution must be positive")
+        _require(self.max_packets >= 0, "max_packets must be non-negative")
+
+
+def _freeze_params(params: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise scenario extras to a sorted tuple of (key, value) pairs."""
+    if isinstance(params, Mapping):
+        items = list(params.items())
+    else:
+        try:
+            items = [(key, value) for key, value in params]
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                "params must be a mapping or a sequence of (key, value) "
+                f"pairs: {exc}"
+            ) from exc
+    seen = set()
+    for key, value in items:
+        _require(isinstance(key, str), "param keys must be strings")
+        _require(key not in seen, f"duplicate param key {key!r}")
+        seen.add(key)
+        _require(
+            value is None or isinstance(value, (bool, int, float, str)),
+            f"param {key!r} must be a JSON scalar, got {type(value).__name__}",
+        )
+    return tuple(sorted(items, key=lambda item: item[0]))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The complete declarative description of one experiment.
+
+    ``scenario`` names the registered interpreter
+    (:mod:`repro.api.registry`); ``seed`` is the master seed every RNG
+    in the run descends from; ``params`` holds scenario-specific scalar
+    extras that have no component home (stored as sorted pairs so the
+    spec stays hashable; read with :meth:`param`).
+    """
+
+    scenario: str
+    seed: int = 0
+    swarm: Optional[SwarmSpec] = None
+    strategy: StrategySpec = StrategySpec()
+    churn: Optional[ChurnSpec] = None
+    measurement: MeasurementSpec = MeasurementSpec()
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.scenario), "scenario name must be non-empty")
+        _require_int(self.seed, "spec seed")
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    # -- params accessors ---------------------------------------------------
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def with_params(self, **updates: Any) -> "ExperimentSpec":
+        """A copy with ``params`` entries added/replaced."""
+        merged = self.params_dict()
+        merged.update(updates)
+        return dataclasses.replace(self, params=_freeze_params(merged))
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON-types dict; inverse of :meth:`from_dict`."""
+        out = dataclasses.asdict(self)
+        out["params"] = self.params_dict()
+        if self.swarm is not None:
+            out["swarm"]["nodes"] = [dataclasses.asdict(n) for n in self.swarm.nodes]
+            out["swarm"]["links"] = [dataclasses.asdict(r) for r in self.swarm.links]
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        _check_keys(cls, data)
+        _require("scenario" in data, "spec is missing the 'scenario' key")
+        swarm = data.get("swarm")
+        churn = data.get("churn")
+        return cls(
+            scenario=data["scenario"],
+            seed=data.get("seed", 0),
+            swarm=_swarm_from_dict(swarm) if swarm is not None else None,
+            strategy=_component_from_dict(StrategySpec, data.get("strategy")),
+            churn=_component_from_dict(ChurnSpec, churn) if churn is not None else None,
+            measurement=_component_from_dict(MeasurementSpec, data.get("measurement")),
+            params=_freeze_params(data.get("params", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _check_keys(cls: type, data: Any) -> None:
+    """Require ``data`` to be a mapping using only ``cls``'s field names."""
+    name = "spec" if cls is ExperimentSpec else cls.__name__
+    _require(isinstance(data, Mapping), f"{name} must be a JSON object")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    _require(
+        not unknown,
+        f"unknown {name} keys {sorted(unknown)}; expected a subset of {sorted(known)}",
+    )
+
+
+def _construct(cls: type, kwargs: Mapping[str, Any]):
+    """Instantiate a spec dataclass, folding bad types into SpecError."""
+    try:
+        return cls(**kwargs)
+    except SpecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"invalid {cls.__name__}: {exc}") from exc
+
+
+def _component_from_dict(cls: type, data: Optional[Mapping[str, Any]]):
+    """Build a flat component dataclass from a mapping (defaults if None)."""
+    if data is None:
+        return cls()
+    _check_keys(cls, data)
+    return _construct(cls, data)
+
+
+def _spec_list(data: Mapping[str, Any], key: str, parent: str) -> tuple:
+    value = data.get(key, ())
+    _require(
+        isinstance(value, (list, tuple)),
+        f"{parent} {key!r} must be an array of objects",
+    )
+    return tuple(value)
+
+
+def _swarm_from_dict(data: Mapping[str, Any]) -> SwarmSpec:
+    _check_keys(SwarmSpec, data)
+    kwargs = dict(data)
+    kwargs["nodes"] = tuple(
+        _component_from_dict(NodeSpec, n)
+        for n in _spec_list(data, "nodes", "SwarmSpec")
+    )
+    kwargs["links"] = tuple(
+        _rule_from_dict(r) for r in _spec_list(data, "links", "SwarmSpec")
+    )
+    return _construct(SwarmSpec, kwargs)
+
+
+def _rule_from_dict(data: Mapping[str, Any]) -> LinkRuleSpec:
+    _check_keys(LinkRuleSpec, data)
+    return LinkRuleSpec(
+        sender_class=data.get("sender_class", "*"),
+        receiver_class=data.get("receiver_class", "*"),
+        link=_component_from_dict(LinkSpec, data.get("link")),
+    )
+
+
+__all__ = [
+    "SpecError",
+    "LINK_KINDS",
+    "SEEDING_RULES",
+    "SEED_BASES",
+    "NODE_ROLES",
+    "LinkSpec",
+    "LinkRuleSpec",
+    "NodeSpec",
+    "SwarmSpec",
+    "StrategySpec",
+    "ChurnSpec",
+    "MeasurementSpec",
+    "ExperimentSpec",
+]

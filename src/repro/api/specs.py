@@ -1,0 +1,32 @@
+"""Spec constructors for every registered scenario, in one namespace.
+
+``from repro.api import specs`` then ``specs.flash_crowd(...)``,
+``specs.pair_transfer(...)``, etc. — each returns a complete
+:class:`~repro.api.spec.ExperimentSpec` ready for
+:func:`repro.api.run` or ``spec.to_json()``.
+"""
+
+from repro.api.builders import (
+    asymmetric_bandwidth_swarm,
+    correlated_regional_loss,
+    flash_crowd,
+    multi_sender_transfer,
+    pair_transfer,
+    session_swarm,
+    source_departure,
+)
+
+#: Alias matching the registry key (the legacy function name kept the
+#: longer ``_swarm`` suffix).
+asymmetric_bandwidth = asymmetric_bandwidth_swarm
+
+__all__ = [
+    "flash_crowd",
+    "source_departure",
+    "asymmetric_bandwidth",
+    "asymmetric_bandwidth_swarm",
+    "correlated_regional_loss",
+    "pair_transfer",
+    "multi_sender_transfer",
+    "session_swarm",
+]

@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.coding.degree import DegreeDistribution
 from repro.coding.symbol import EncodedSymbol, RecodedSymbol, xor_payloads
+from repro.seeding import default_rng
 
 #: Paper Section 6.1: "The degree distribution for recoding was created
 #: similarly with a degree limit of 50."
@@ -94,7 +95,7 @@ class Recoder:
         self.max_degree = min(max_degree, len(self._symbols))
         self.correlation = correlation
         self.minwise_shift = minwise_shift
-        self._rng = rng or random.Random()
+        self._rng = rng if rng is not None else default_rng("coding.recode")
 
         if correlation is not None and not minwise_shift:
             lower = min(

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.seeding import default_rng
 from repro.sketches import MinwiseSketch
 
 #: Resemblance above which two candidates are treated as holding the
@@ -193,7 +194,7 @@ def split_demand(
         raise ValueError("demand must be non-negative")
     if not groups:
         return {}
-    rng = rng or random.Random()
+    rng = rng if rng is not None else default_rng("delivery.orchestrator.split_demand")
     allocation: Dict[str, int] = {}
     base_group = symbols_desired // len(groups)
     extra_groups = symbols_desired % len(groups)

@@ -27,6 +27,7 @@ from repro.coding.recode import DEFAULT_MAX_RECODE_DEGREE, optimal_recode_degree
 from repro.delivery.packets import Packet
 from repro.delivery.working_set import WorkingSet
 from repro.filters import BloomFilter
+from repro.seeding import default_rng
 
 
 class SenderStrategy:
@@ -39,7 +40,11 @@ class SenderStrategy:
         if len(working_set) == 0:
             raise ValueError("a sender with an empty working set cannot transmit")
         self.working_set = working_set
-        self.rng = rng or random.Random()
+        # No OS-seeded fallback: an unseeded strategy draws from a
+        # deterministic stream so runs replay bit-identically.
+        self.rng = rng if rng is not None else default_rng(
+            "delivery.strategies", type(self).name
+        )
         # Materialised list for O(1) uniform sampling.
         self._pool = list(working_set)
 

@@ -18,6 +18,9 @@ from repro.experiments.fig4 import (
 )
 from repro.experiments.fig5678 import (
     DeliveryPoint,
+    fig5_spec,
+    fig6_spec,
+    fig78_spec,
     run_fig5,
     run_fig6,
     run_fig78,
@@ -31,6 +34,9 @@ __all__ = [
     "run_fig4b",
     "run_fig4c",
     "DeliveryPoint",
+    "fig5_spec",
+    "fig6_spec",
+    "fig78_spec",
     "run_fig5",
     "run_fig6",
     "run_fig78",

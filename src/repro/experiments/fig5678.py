@@ -1,5 +1,14 @@
 """Figure 5-8 reproductions: delivery-strategy simulations.
 
+Every figure point is now one :class:`~repro.api.ExperimentSpec` run
+through :func:`repro.api.run` — the same declarative pipeline the
+scenario catalogs and the CLI use.  A point's spec can be recovered
+with :func:`fig5_spec` / :func:`fig6_spec` / :func:`fig78_spec`,
+serialised with ``spec.to_json()``, and replayed bit-identically
+anywhere (per-trial seeds derive from the sweep seed via
+:func:`repro.seeding.derive_seed`, never Python's randomised
+``hash()``).
+
 Shared conventions (Section 6.3):
 
 * Correlation is ``|A ∩ B| / |B|`` (receiver A, sender B).
@@ -12,28 +21,23 @@ Shared conventions (Section 6.3):
 """
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.delivery import (
-    STRATEGY_NAMES,
-    SimReceiver,
-    make_multi_sender_scenario,
-    make_pair_scenario,
-    make_strategy,
-    simulate_multi_sender_transfer,
-    simulate_p2p_transfer,
-)
+from repro.api import ExperimentSpec, run, specs
+from repro.api.builders import DEFAULT_DESIRED_MARGIN
+from repro.delivery import STRATEGY_NAMES
 from repro.delivery.scenarios import (
     COMPACT_MULTIPLIER,
     STRETCHED_MULTIPLIER,
     max_pair_correlation,
 )
+from repro.seeding import derive_seed
 
 #: Receiver's request margin over an even deficit split (decoding
-#: overhead allowance plus slack for sender-domain overlap).
-DESIRED_MARGIN = 1.15
+#: overhead allowance plus slack for sender-domain overlap) — the one
+#: constant the spec constructors also default to.
+DESIRED_MARGIN = DEFAULT_DESIRED_MARGIN
 
 #: Default experiment scale.  The paper simulates ~24k-block files; the
 #: overhead/speedup ratios are scale-free above ~1k symbols, so the
@@ -64,6 +68,80 @@ def _scenario_name(multiplier: float) -> str:
     return "compact" if multiplier <= 1.2 else "stretched"
 
 
+def fig5_spec(
+    target: int, multiplier: float, correlation: float, strategy: str, seed: int
+) -> ExperimentSpec:
+    """The spec behind one Figure 5 point (overhead, single sender)."""
+    return specs.pair_transfer(
+        target=target,
+        multiplier=multiplier,
+        correlation=correlation,
+        strategy_name=strategy,
+        seed=seed,
+    )
+
+
+def fig6_spec(
+    target: int, multiplier: float, correlation: float, strategy: str, seed: int
+) -> ExperimentSpec:
+    """The spec behind one Figure 6 point (partial + full sender)."""
+    return specs.pair_transfer(
+        target=target,
+        multiplier=multiplier,
+        correlation=correlation,
+        strategy_name=strategy,
+        seed=seed,
+        full_senders=1,
+        desired_margin=DESIRED_MARGIN,
+    )
+
+
+def fig78_spec(
+    target: int,
+    multiplier: float,
+    correlation: float,
+    strategy: str,
+    num_senders: int,
+    seed: int,
+) -> ExperimentSpec:
+    """The spec behind one Figure 7/8 point (parallel partial senders)."""
+    return specs.multi_sender_transfer(
+        target=target,
+        multiplier=multiplier,
+        correlation=correlation,
+        num_senders=num_senders,
+        strategy_name=strategy,
+        seed=seed,
+        desired_margin=DESIRED_MARGIN,
+    )
+
+
+def _sweep_point(
+    figure: str,
+    multiplier: float,
+    correlation: float,
+    strategy: str,
+    trials: int,
+    metric: str,
+    make_spec,
+) -> DeliveryPoint:
+    """Average one figure point's metric over seeded spec runs."""
+    values, completed = [], 0
+    for t in range(trials):
+        result = run(make_spec(t))
+        if result.completed:
+            completed += 1
+            values.append(result.metrics[metric])
+    return DeliveryPoint(
+        figure=figure,
+        scenario=_scenario_name(multiplier),
+        strategy=strategy,
+        correlation=correlation,
+        value=sum(values) / len(values) if values else math.nan,
+        completed_fraction=completed / trials,
+    )
+
+
 def run_fig5(
     target: int = DEFAULT_TARGET,
     trials: int = DEFAULT_TRIALS,
@@ -76,27 +154,13 @@ def run_fig5(
     for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
         for corr in _correlations(multiplier, correlation_points):
             for name in strategies:
-                values, completed = [], 0
-                for t in range(trials):
-                    rng = random.Random(seed + 1000 * t + hash((multiplier, corr, name)) % 997)
-                    sc = make_pair_scenario(target, multiplier, corr, rng)
-                    recv = SimReceiver(sc.receiver.ids, sc.target)
-                    strat = make_strategy(
-                        name, sc.sender, sc.receiver, rng,
-                        symbols_desired=sc.target - len(sc.receiver),
-                    )
-                    res = simulate_p2p_transfer(recv, strat)
-                    if res.completed:
-                        completed += 1
-                        values.append(res.overhead)
                 points.append(
-                    DeliveryPoint(
-                        figure="5",
-                        scenario=_scenario_name(multiplier),
-                        strategy=name,
-                        correlation=corr,
-                        value=sum(values) / len(values) if values else math.nan,
-                        completed_fraction=completed / trials,
+                    _sweep_point(
+                        "5", multiplier, corr, name, trials, "overhead",
+                        lambda t, m=multiplier, c=corr, n=name: fig5_spec(
+                            target, m, c, n,
+                            derive_seed(seed, "fig5", m, c, n, t),
+                        ),
                     )
                 )
     return points
@@ -114,32 +178,13 @@ def run_fig6(
     for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
         for corr in _correlations(multiplier, correlation_points):
             for name in strategies:
-                values, completed = [], 0
-                for t in range(trials):
-                    rng = random.Random(seed + 1000 * t + hash((multiplier, corr, name)) % 997)
-                    sc = make_pair_scenario(target, multiplier, corr, rng)
-                    recv = SimReceiver(sc.receiver.ids, sc.target)
-                    deficit = sc.target - len(sc.receiver)
-                    # Two equal-rate senders: ask each for half the deficit.
-                    desired = int(math.ceil(deficit / 2 * DESIRED_MARGIN))
-                    strat = make_strategy(
-                        name, sc.sender, sc.receiver, rng,
-                        symbols_desired=desired,
-                    )
-                    res = simulate_multi_sender_transfer(
-                        recv, [strat], full_senders=1
-                    )
-                    if res.completed:
-                        completed += 1
-                        values.append(res.speedup)
                 points.append(
-                    DeliveryPoint(
-                        figure="6",
-                        scenario=_scenario_name(multiplier),
-                        strategy=name,
-                        correlation=corr,
-                        value=sum(values) / len(values) if values else math.nan,
-                        completed_fraction=completed / trials,
+                    _sweep_point(
+                        "6", multiplier, corr, name, trials, "speedup",
+                        lambda t, m=multiplier, c=corr, n=name: fig6_spec(
+                            target, m, c, n,
+                            derive_seed(seed, "fig6", m, c, n, t),
+                        ),
                     )
                 )
     return points
@@ -168,33 +213,13 @@ def run_fig78(
                  for i in range(correlation_points)]
         for corr in corrs:
             for name in strategies:
-                values, completed = [], 0
-                for t in range(trials):
-                    rng = random.Random(seed + 1000 * t + hash((multiplier, corr, name)) % 997)
-                    sc = make_multi_sender_scenario(
-                        target, multiplier, corr, num_senders, rng
-                    )
-                    recv = SimReceiver(sc.receiver.ids, sc.target)
-                    deficit = sc.target - len(sc.receiver)
-                    desired = int(math.ceil(deficit / num_senders * DESIRED_MARGIN))
-                    strats = [
-                        make_strategy(
-                            name, s, sc.receiver, rng, symbols_desired=desired
-                        )
-                        for s in sc.senders
-                    ]
-                    res = simulate_multi_sender_transfer(recv, strats)
-                    if res.completed:
-                        completed += 1
-                        values.append(res.speedup)
                 points.append(
-                    DeliveryPoint(
-                        figure=figure,
-                        scenario=_scenario_name(multiplier),
-                        strategy=name,
-                        correlation=corr,
-                        value=sum(values) / len(values) if values else math.nan,
-                        completed_fraction=completed / trials,
+                    _sweep_point(
+                        figure, multiplier, corr, name, trials, "speedup",
+                        lambda t, m=multiplier, c=corr, n=name: fig78_spec(
+                            target, m, c, n, num_senders,
+                            derive_seed(seed, "fig78", num_senders, m, c, n, t),
+                        ),
                     )
                 )
     return points

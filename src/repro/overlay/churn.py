@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.overlay.node import OverlayNode
 from repro.overlay.simulator import OverlaySimulator
+from repro.seeding import default_rng
 
 
 @dataclass
@@ -60,7 +61,7 @@ class ChurnProcess:
         self.rejoin_after = rejoin_after
         self.degrade_probability = degrade_probability
         self.protect = set(protect or ())
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else default_rng("overlay.churn")
         self.log = ChurnEventLog()
         self._away: Dict[str, tuple] = {}  # node_id -> (node, rejoin_tick)
 

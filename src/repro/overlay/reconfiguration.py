@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.hashing.permutations import PermutationFamily
 from repro.overlay.node import OverlayNode
+from repro.seeding import default_rng
 
 
 class AdmissionPolicy(Protocol):
@@ -77,7 +78,7 @@ class UtilityRewiring:
             raise ValueError("hysteresis must be non-negative")
         self.family = family
         self.hysteresis = hysteresis
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else default_rng("overlay.reconfiguration")
 
     def rewire(
         self,

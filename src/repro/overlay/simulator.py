@@ -37,6 +37,7 @@ from repro.overlay.topology import PathCharacteristics, VirtualTopology
 from repro.sim.engine import EventScheduler
 from repro.sim.links import ConstantRateLink, LinkModel, drain_credit
 from repro.sim.stats import StatsRecorder
+from repro.seeding import default_rng
 
 #: Builds a link model for a new connection; receives the physical path
 #: characteristics and the endpoint ids.
@@ -190,7 +191,7 @@ class OverlaySimulator:
         self.strategy_name = strategy_name
         self.reconfigure_every = reconfigure_every
         self.refresh_every = refresh_every
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else default_rng("overlay.simulator")
         self.link_factory = link_factory
         self.stats = stats
         self.scheduler = scheduler or EventScheduler()

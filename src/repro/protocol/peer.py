@@ -23,6 +23,7 @@ from repro.hashing.permutations import PermutationFamily
 from repro.protocol.messages import DataMessage, HelloMessage, SummaryMessage
 from repro.sketches import MinwiseSketch
 from repro.sketches.estimate import intersection_from_resemblance
+from repro.seeding import default_rng
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,7 @@ class ProtocolPeer:
     ):
         self.peer_id = peer_id
         self.params = params
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else default_rng("protocol.peer", peer_id)
         self.is_source = content is not None
         self._encoder: Optional[LTEncoder] = None
         self._next_fresh = 0

@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.filters import BloomFilter
 from repro.protocol.messages import DataMessage, RequestMessage
 from repro.protocol.peer import ProtocolPeer
+from repro.seeding import default_rng
 
 #: Correlation above which a receiver should reject the sender outright
 #: (Section 4's admission control: identical content offers nothing).
@@ -44,16 +45,46 @@ class SessionStats:
 
     @property
     def duration(self) -> Optional[float]:
-        """Simulated transfer time, when run under an event clock."""
+        """Simulated transfer time, when run under an event clock.
+
+        None until both endpoints are stamped; an instantaneous finish
+        (a rejection in the handshake event itself) is 0.0, and a
+        clock that was rewound between stamps can never yield a
+        negative duration.
+        """
         if self.started_at is None or self.finished_at is None:
             return None
-        return self.finished_at - self.started_at
+        return max(0.0, self.finished_at - self.started_at)
 
     @property
     def control_fraction(self) -> float:
-        """Control overhead as a fraction of total bytes."""
+        """Control overhead as a fraction of total bytes, in [0, 1].
+
+        0.0 when no bytes moved at all (a session that never ran its
+        handshake), 1.0 for a rejected handshake (all control, no
+        data).
+        """
         total = self.control_bytes + self.data_bytes
-        return self.control_bytes / total if total else 0.0
+        if total <= 0:
+            return 0.0
+        return min(1.0, max(0.0, self.control_bytes / total))
+
+    def to_dict(self) -> dict:
+        """The JSON shape shared by ``RunResult.to_dict`` and benchmarks."""
+        return {
+            "control_bytes": self.control_bytes,
+            "data_bytes": self.data_bytes,
+            "data_packets": self.data_packets,
+            "useful_packets": self.useful_packets,
+            "rejected": self.rejected,
+            "used_summary": self.used_summary,
+            "estimated_correlation": self.estimated_correlation,
+            "completed": self.completed,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration": self.duration,
+            "control_fraction": self.control_fraction,
+        }
 
 
 class TransferSession:
@@ -91,7 +122,7 @@ class TransferSession:
         self.receiver = receiver
         self.bloom_bits = bloom_bits_per_element
         self.partitioned_rho = partitioned_rho
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else default_rng("protocol.session")
         self.clock = clock
         self.stats = SessionStats()
         self._domain: Optional[List[int]] = None

@@ -15,8 +15,10 @@ shared clock, and a scenario catalog of adversarial workloads.
   counters and gauges bucketed on the simulated clock.
 * :mod:`repro.sim.sessions` — :class:`ScheduledSession`: the Section 6
   protocol sessions paced by link models on the shared clock.
-* :mod:`repro.sim.scenarios` — flash crowd, source departure,
-  asymmetric bandwidth, correlated regional loss.
+* :mod:`repro.sim.scenarios` — the :class:`SimScenario` bundle plus
+  deprecated constructor shims; the catalog itself now lives behind
+  :mod:`repro.api` (flash crowd, source departure, asymmetric
+  bandwidth, correlated regional loss).
 """
 
 from repro.sim.engine import EventHandle, EventScheduler
@@ -30,6 +32,17 @@ from repro.sim.links import (
 )
 from repro.sim.stats import StatsRecorder
 
+
+def __getattr__(name):
+    # Lazy re-exports: repro.sim.scenarios sits above the overlay layer
+    # (its shims build overlay simulators), so importing it eagerly here
+    # would cycle overlay -> sim -> scenarios -> overlay.
+    if name in ("SimScenario", "SCENARIOS"):
+        from repro.sim import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+
 __all__ = [
     "EventHandle",
     "EventScheduler",
@@ -40,4 +53,6 @@ __all__ = [
     "GilbertElliottProcess",
     "TraceBandwidthLink",
     "StatsRecorder",
+    "SimScenario",
+    "SCENARIOS",
 ]

@@ -1,47 +1,31 @@
 """Scenario library: canned event-driven workloads beyond Figure 1.
 
-Every scenario assembles an :class:`~repro.overlay.simulator.
-OverlaySimulator` plus scheduled disturbance events on the shared
-clock, and returns a :class:`SimScenario` bundle with a
-:class:`~repro.sim.stats.StatsRecorder` already attached.  The catalog
-stresses the paper's central claim — reconciliation-informed, recoded
-transfers on *adaptive* overlays — under conditions the uniform tick
-loop could not express:
+.. deprecated::
+    The scenario constructors in this module are thin shims over the
+    declarative experiment API.  New code should build specs and run
+    them through one pipeline::
 
-* :func:`flash_crowd` — demand arrives in waves; each joiner runs the
-  Section 4 join decision (:func:`repro.delivery.orchestrator.plan_join`)
-  over live calling cards at its scheduled join time.
-* :func:`source_departure` — the only source leaves mid-transfer; the
-  swarm must finish from collectively held (time-invariant) content.
-* :func:`asymmetric_bandwidth_swarm` — a fast backbone class and a
-  slow, jittery edge class share one overlay (heterogeneous
-  :class:`~repro.sim.links.LinkModel`s per connection).
-* :func:`correlated_regional_loss` — two regions joined by a trunk
-  whose Gilbert-Elliott loss chain is *shared* by every inter-region
-  connection, so bursts hit them together.
+        from repro.api import specs, run
 
-Each function is seeded and cheap by default; benchmarks scale the
-same constructors to hundreds of nodes.
+        result = run(specs.flash_crowd(num_peers=48, seed=11))
+
+    The shims remain so existing callers (benchmarks, examples, older
+    notebooks) keep working: each builds the equivalent
+    :class:`~repro.api.ExperimentSpec`, interprets it through the
+    registry, and returns the ready-to-run :class:`SimScenario` bundle
+    exactly as before — the parity tests in
+    ``tests/api/test_api_parity.py`` pin identical seeded outputs.
+
+The catalog itself (flash crowd, source departure, asymmetric
+bandwidth, correlated regional loss) now lives in
+:mod:`repro.api.builders`.
 """
 
-import math
-import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
-from repro.delivery.orchestrator import CandidateSender, plan_join
-from repro.overlay.node import OverlayNode
-from repro.overlay.reconfiguration import SketchAdmission, UtilityRewiring
-from repro.overlay.scenarios import default_family
 from repro.overlay.simulator import OverlaySimulator, SimulationReport
-from repro.overlay.topology import PathCharacteristics, VirtualTopology
-from repro.sim.links import (
-    ConstantRateLink,
-    GilbertElliottLink,
-    GilbertElliottProcess,
-    LatencyJitterLink,
-    LinkModel,
-)
 from repro.sim.stats import StatsRecorder
 
 
@@ -60,26 +44,13 @@ class SimScenario:
         return self.simulator.run(max_ticks=max_ticks)
 
 
-def _base_simulator(
-    rng: random.Random,
-    strategy_name: str,
-    link_factory: Optional[Callable[..., LinkModel]] = None,
-    reconfigure_every: int = 20,
-) -> tuple:
-    family = default_family()
-    stats = StatsRecorder()
-    sim = OverlaySimulator(
-        VirtualTopology(),
-        family,
-        admission=SketchAdmission(family),
-        rewiring=UtilityRewiring(family, rng=rng),
-        strategy_name=strategy_name,
-        reconfigure_every=reconfigure_every,
-        rng=rng,
-        link_factory=link_factory,
-        stats=stats,
+def _deprecated_shim(name: str) -> None:
+    warnings.warn(
+        f"repro.sim.scenarios.{name}() is deprecated; build an "
+        f"ExperimentSpec (repro.api.specs.{name}) and use repro.api.run()",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    return sim, family, stats
 
 
 def flash_crowd(
@@ -92,77 +63,21 @@ def flash_crowd(
     seed: int = 11,
     strategy_name: str = "Recode/BF",
 ) -> SimScenario:
-    """Waves of empty peers rush a small seeded swarm.
+    """Deprecated shim for :func:`repro.api.builders.flash_crowd`."""
+    _deprecated_shim("flash_crowd")
+    from repro.api import build, specs
 
-    At ``t = wave_interval * k`` a wave joins; every joiner gathers the
-    live peers' calling cards and runs the orchestrator's full join
-    decision (greedy max-coverage selection, replica grouping, demand
-    split) *at its join event's simulated time*.  Joiners that find no
-    useful peer fall back to the source; utility rewiring then spreads
-    the load as working sets diverge.
-    """
-    if initial_seeded >= num_peers:
-        raise ValueError("need at least one non-seeded peer")
-    rng = random.Random(seed)
-    sim, family, stats = _base_simulator(rng, strategy_name)
-    scenario = SimScenario("flash_crowd", sim, stats, target)
-    distinct = int(target * 1.2)
-
-    sim.add_node(OverlayNode("src", target, is_source=True))
-    for i in range(initial_seeded):
-        ids = rng.sample(range(distinct), target // 2)
-        name = f"seed{i}"
-        sim.add_node(
-            OverlayNode(name, target, initial_ids=ids, max_connections=max_connections)
-        )
-        sim.connect("src", name)
-
-    joiners = [f"p{i}" for i in range(num_peers - initial_seeded)]
-    per_wave = math.ceil(len(joiners) / waves)
-
-    def make_wave(batch: List[str]) -> Callable[[], None]:
-        def join_wave() -> None:
-            now = sim.scheduler.now
-            scenario.events.append(f"t={now:g} wave of {len(batch)} joins")
-            for pid in batch:
-                node = OverlayNode(pid, target, max_connections=max_connections)
-                sim.add_node(node)
-                candidates = [
-                    CandidateSender(n.node_id, n.sketch(family), len(n.working_set))
-                    for n in sim.nodes.values()
-                    if not n.is_source
-                    and n.node_id != pid
-                    and len(n.working_set) > 0
-                ]
-                plan = plan_join(
-                    node.sketch(family),
-                    len(node.working_set),
-                    candidates,
-                    max_senders=max_connections,
-                    symbols_desired=target,
-                    rng=rng,
-                    now=now,
-                )
-                scenario.extras.setdefault("join_plans", {})[pid] = plan
-                connected = 0
-                for sender_id in plan.selection.chosen:
-                    if sim.connect(sender_id, pid):
-                        connected += 1
-                if connected == 0:
-                    sim.connect("src", pid)
-
-        return join_wave
-
-    # Waves land mid-tick (t = k*interval + 0.5): unambiguously after
-    # tick k's delivery pass and before tick k+1's, so joiners' first
-    # packets flow on the next tick.
-    for w in range(waves):
-        batch = joiners[w * per_wave : (w + 1) * per_wave]
-        if batch:
-            sim.scheduler.schedule_at(
-                (w + 1) * float(wave_interval) + 0.5, make_wave(batch)
-            )
-    return scenario
+    spec = specs.flash_crowd(
+        num_peers=num_peers,
+        target=target,
+        initial_seeded=initial_seeded,
+        waves=waves,
+        wave_interval=wave_interval,
+        max_connections=max_connections,
+        seed=seed,
+        strategy_name=strategy_name,
+    )
+    return build(spec).scenario
 
 
 def source_departure(
@@ -172,35 +87,18 @@ def source_departure(
     seed: int = 23,
     strategy_name: str = "Recode/BF",
 ) -> SimScenario:
-    """The only source leaves mid-transfer; the swarm finishes alone.
+    """Deprecated shim for :func:`repro.api.builders.source_departure`."""
+    _deprecated_shim("source_departure")
+    from repro.api import build, specs
 
-    Peers start with random halves of the (overprovisioned) symbol
-    space, so their union covers the file: after the departure event
-    removes the source, completion is only possible through
-    peer-to-peer reconciliation — the paper's time-invariance argument
-    (Section 2.3) made into a scenario.
-    """
-    rng = random.Random(seed)
-    sim, family, stats = _base_simulator(rng, strategy_name, reconfigure_every=10)
-    scenario = SimScenario("source_departure", sim, stats, target)
-    distinct = int(target * 1.3)
-
-    sim.add_node(OverlayNode("src", target, is_source=True))
-    peer_ids = [f"p{i}" for i in range(num_peers)]
-    for pid in peer_ids:
-        ids = rng.sample(range(distinct), distinct // 2)
-        sim.add_node(OverlayNode(pid, target, initial_ids=ids, max_connections=3))
-        sim.connect("src", pid)
-    # A sparse peer mesh so perpendicular capacity exists on day one.
-    for i, pid in enumerate(peer_ids):
-        sim.connect(peer_ids[(i + 1) % num_peers], pid)
-
-    def depart() -> None:
-        sim.remove_node("src")
-        scenario.events.append(f"t={sim.scheduler.now:g} source departed")
-
-    sim.scheduler.schedule_at(depart_at, depart)
-    return scenario
+    spec = specs.source_departure(
+        num_peers=num_peers,
+        target=target,
+        depart_at=depart_at,
+        seed=seed,
+        strategy_name=strategy_name,
+    )
+    return build(spec).scenario
 
 
 def asymmetric_bandwidth_swarm(
@@ -214,43 +112,22 @@ def asymmetric_bandwidth_swarm(
     seed: int = 31,
     strategy_name: str = "Recode/BF",
 ) -> SimScenario:
-    """A fast backbone class and a slow, jittery edge class in one swarm.
+    """Deprecated shim for :func:`repro.api.builders.asymmetric_bandwidth_swarm`."""
+    _deprecated_shim("asymmetric_bandwidth_swarm")
+    from repro.api import build, specs
 
-    Connections *from* backbone nodes (source included) run at
-    ``fast_rate`` with no latency; connections from edge nodes crawl at
-    ``slow_rate`` behind a jittered propagation delay, so their packets
-    arrive between ticks, out of order, and sometimes after the
-    receiver already finished — the heterogeneity the uniform tick loop
-    hid.
-    """
-    rng = random.Random(seed)
-    fast_class = {"src"} | {f"fast{i}" for i in range(num_fast)}
-
-    def link_factory(
-        chars: PathCharacteristics, sender_id: str, receiver_id: str
-    ) -> LinkModel:
-        if sender_id in fast_class:
-            return ConstantRateLink(fast_rate, loss_rate=0.005)
-        return LatencyJitterLink(
-            slow_rate, latency=slow_latency, jitter=slow_jitter, loss_rate=0.02
-        )
-
-    sim, family, stats = _base_simulator(rng, strategy_name, link_factory)
-    scenario = SimScenario("asymmetric_bandwidth", sim, stats, target)
-    scenario.extras["fast_class"] = fast_class
-    distinct = int(target * 1.2)
-
-    sim.add_node(OverlayNode("src", target, is_source=True))
-    for i in range(num_fast):
-        ids = rng.sample(range(distinct), rng.randrange(0, target // 2))
-        sim.add_node(OverlayNode(f"fast{i}", target, initial_ids=ids, max_connections=3))
-        sim.connect("src", f"fast{i}")
-    for i in range(num_slow):
-        ids = rng.sample(range(distinct), rng.randrange(0, target // 3))
-        sim.add_node(OverlayNode(f"slow{i}", target, initial_ids=ids, max_connections=3))
-        # Edge peers bootstrap from the backbone when one exists.
-        sim.connect(f"fast{i % num_fast}" if num_fast else "src", f"slow{i}")
-    return scenario
+    spec = specs.asymmetric_bandwidth_swarm(
+        num_fast=num_fast,
+        num_slow=num_slow,
+        target=target,
+        fast_rate=fast_rate,
+        slow_rate=slow_rate,
+        slow_latency=slow_latency,
+        slow_jitter=slow_jitter,
+        seed=seed,
+        strategy_name=strategy_name,
+    )
+    return build(spec).scenario
 
 
 def correlated_regional_loss(
@@ -264,59 +141,22 @@ def correlated_regional_loss(
     seed: int = 48,
     strategy_name: str = "Recode/BF",
 ) -> SimScenario:
-    """Two regions bridged by a trunk with shared bursty loss.
+    """Deprecated shim for :func:`repro.api.builders.correlated_regional_loss`."""
+    _deprecated_shim("correlated_regional_loss")
+    from repro.api import build, specs
 
-    All inter-region connections reference *one*
-    :class:`GilbertElliottProcess`, stepped once per tick by a
-    scheduled event — when the trunk enters its bad state, every
-    cross-region connection suffers together (correlated regional
-    loss), while intra-region links stay clean.  The source sits in
-    region A; region B can only fill through the trunk or from its own
-    slowly accumulating peers, so adaptation matters.
-    """
-    rng = random.Random(seed)
-    trunk = GilbertElliottProcess(
-        p_good_bad, p_bad_good, loss_good=0.0, loss_bad=loss_bad
+    spec = specs.correlated_regional_loss(
+        peers_per_region=peers_per_region,
+        target=target,
+        intra_rate=intra_rate,
+        trunk_rate=trunk_rate,
+        p_good_bad=p_good_bad,
+        p_bad_good=p_bad_good,
+        loss_bad=loss_bad,
+        seed=seed,
+        strategy_name=strategy_name,
     )
-    region: Dict[str, str] = {"src": "A"}
-    for i in range(peers_per_region):
-        region[f"a{i}"] = "A"
-        region[f"b{i}"] = "B"
-
-    def link_factory(
-        chars: PathCharacteristics, sender_id: str, receiver_id: str
-    ) -> LinkModel:
-        if region[sender_id] != region[receiver_id]:
-            return GilbertElliottLink(trunk_rate, process=trunk, latency=1.0)
-        return ConstantRateLink(intra_rate, loss_rate=0.005)
-
-    sim, family, stats = _base_simulator(rng, strategy_name, link_factory)
-    scenario = SimScenario("correlated_regional_loss", sim, stats, target)
-    scenario.extras["trunk"] = trunk
-    distinct = int(target * 1.2)
-
-    sim.add_node(OverlayNode("src", target, is_source=True))
-    for i in range(peers_per_region):
-        a_ids = rng.sample(range(distinct), rng.randrange(0, target // 2))
-        b_ids = rng.sample(range(distinct), rng.randrange(0, target // 2))
-        sim.add_node(OverlayNode(f"a{i}", target, initial_ids=a_ids, max_connections=3))
-        sim.add_node(OverlayNode(f"b{i}", target, initial_ids=b_ids, max_connections=3))
-        sim.connect("src", f"a{i}")
-    # Region B reaches content through the trunk initially.
-    for i in range(peers_per_region):
-        sim.connect("src" if i == 0 else f"a{i}", f"b{i}")
-        if i > 0:
-            sim.connect(f"b{i - 1}", f"b{i}")
-
-    def step_trunk() -> None:
-        was_bad = trunk.bad
-        trunk.step(rng)
-        if trunk.bad != was_bad:
-            state = "bad" if trunk.bad else "good"
-            scenario.events.append(f"t={sim.scheduler.now:g} trunk -> {state}")
-
-    sim.scheduler.schedule_every(1.0, step_trunk, first=0.5)
-    return scenario
+    return build(spec).scenario
 
 
 #: The scenario catalog, by name — what benchmarks and examples iterate.

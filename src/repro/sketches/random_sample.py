@@ -15,6 +15,8 @@ samples from two *other* peers cannot be compared with each other.
 import random
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro.seeding import default_rng
+
 
 class RandomSampleSketch:
     """A ``k``-element random sample of a working set, plus its size.
@@ -43,7 +45,7 @@ class RandomSampleSketch:
         """Sample ``k`` keys (with replacement) from ``working_set``."""
         if k < 0:
             raise ValueError("sample size must be non-negative")
-        rng = rng or random.Random()
+        rng = rng if rng is not None else default_rng("sketches.random_sample")
         pool = list(working_set)
         if not pool:
             return cls([], 0)

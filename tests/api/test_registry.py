@@ -1,0 +1,65 @@
+"""Scenario registry: lookup, errors, and catalog completeness."""
+
+import pytest
+
+from repro.api import ExperimentSpec, UnknownScenarioError, registry, run, scenario
+
+#: Everything the catalog must register (the two legacy scenario files
+#: plus the ported figure layouts and protocol sessions).
+EXPECTED = {
+    "flash_crowd",
+    "source_departure",
+    "asymmetric_bandwidth",
+    "correlated_regional_loss",
+    "pair_transfer",
+    "multi_sender_transfer",
+    "session_swarm",
+}
+
+
+class TestRegistry:
+    def test_catalog_is_registered(self):
+        assert EXPECTED <= set(registry.names())
+
+    def test_every_entry_has_a_small_spec(self):
+        small = registry.small_specs()
+        for name in registry.names():
+            assert name in small, f"{name} has no miniature spec"
+            assert small[name].scenario == name
+
+    def test_unknown_scenario_error_names_alternatives(self):
+        with pytest.raises(UnknownScenarioError) as exc:
+            registry.get("flash_mob")
+        message = str(exc.value)
+        assert "flash_mob" in message
+        assert "flash_crowd" in message  # the registry lists what it knows
+
+    def test_run_of_unknown_scenario_raises(self):
+        with pytest.raises(UnknownScenarioError):
+            run(ExperimentSpec(scenario="definitely_not_registered"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @scenario("flash_crowd")
+            def clash(spec):  # pragma: no cover - must not register
+                raise AssertionError
+
+    def test_entries_carry_descriptions(self):
+        for name in EXPECTED:
+            assert registry.get(name).description
+
+
+class TestSmallSpecErrors:
+    def test_registered_scenario_without_small_spec_gets_clear_error(self):
+        from repro.api import SpecError
+        from repro.api.registry import ScenarioEntry, _REGISTRY
+
+        _REGISTRY["_no_small"] = ScenarioEntry(name="_no_small", builder=lambda s: s)
+        try:
+            with pytest.raises(SpecError, match="no miniature spec"):
+                registry.small_spec("_no_small")
+            # It is registered, so the lookup itself must succeed.
+            assert registry.get("_no_small").name == "_no_small"
+        finally:
+            del _REGISTRY["_no_small"]

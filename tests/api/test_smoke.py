@@ -1,0 +1,94 @@
+"""Tier-1 smoke: every registered scenario runs at miniature size, and
+the ``python -m repro.api`` CLI round-trips spec files end-to-end."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import registry, run
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+class TestScenarioSmoke:
+    @pytest.mark.parametrize("name", sorted(registry.small_specs()))
+    def test_miniature_spec_runs_to_completion(self, name):
+        spec = registry.small_spec(name)
+        result = run(spec)
+        assert result.completed, f"{name} miniature run did not complete"
+        assert result.metrics, f"{name} reported no metrics"
+        # Every result serialises through the shared schema.
+        payload = json.loads(result.to_json())
+        assert payload["scenario"] == name
+
+
+def _cli(*args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.api", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        **kwargs,
+    )
+
+
+class TestCli:
+    def test_list_names_every_registered_scenario(self):
+        proc = _cli("--list")
+        assert proc.returncode == 0
+        for name in registry.names():
+            assert name in proc.stdout
+
+    def test_spec_file_runs_and_writes_result(self, tmp_path):
+        spec = registry.small_spec("pair_transfer")
+        spec_file = tmp_path / "pair.json"
+        spec_file.write_text(spec.to_json())
+        out_file = tmp_path / "result.json"
+        proc = _cli("--spec", str(spec_file), "--out", str(out_file))
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(out_file.read_text())
+        assert payload["schema"] == "repro.run_result/1"
+        assert payload["completed"] is True
+        assert payload["spec"] == spec.to_dict()
+
+    def test_scenario_flag_uses_miniature_spec(self):
+        proc = _cli("--scenario", "source_departure")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["scenario"] == "source_departure"
+
+    def test_seed_override_changes_the_run(self):
+        base = json.loads(_cli("--scenario", "pair_transfer").stdout)
+        other = json.loads(
+            _cli("--scenario", "pair_transfer", "--seed", "999").stdout
+        )
+        assert other["seed"] == 999
+        assert base["seed"] != 999
+
+    def test_unknown_scenario_fails_with_catalog(self):
+        proc = _cli("--scenario", "nope")
+        assert proc.returncode == 2
+        assert "registered scenarios" in proc.stderr
+
+    def test_bad_spec_file_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        proc = _cli("--spec", str(bad))
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+
+    def test_print_spec_round_trips(self, tmp_path):
+        proc = _cli("--scenario", "flash_crowd", "--print-spec")
+        assert proc.returncode == 0
+        spec_file = tmp_path / "fc.json"
+        spec_file.write_text(proc.stdout)
+        rerun = _cli("--spec", str(spec_file))
+        assert rerun.returncode == 0, rerun.stderr
+        assert json.loads(rerun.stdout)["scenario"] == "flash_crowd"
