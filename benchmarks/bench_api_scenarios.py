@@ -34,6 +34,18 @@ BENCH_SPECS = {
     "session_swarm": lambda: specs.session_swarm(
         num_receivers=4, num_blocks=120, seed=9
     ),
+    # Stretched layout: enough sender-side slack that even low-budget
+    # approximate summaries recover the full deficit (compact layouts
+    # plateau below completion — that regime belongs to the tradeoff
+    # sweep itself, not this all-complete pipeline bench).
+    "summary_tradeoff": lambda: specs.summary_tradeoff(
+        target=400,
+        multiplier=1.5,
+        correlation=0.2,
+        kinds="minwise,bloom,art,hashset",
+        budgets="8,16",
+        seed=17,
+    ),
 }
 
 

@@ -1,0 +1,97 @@
+"""Summary adapters head-to-head: build/estimate/search cost vs wire size.
+
+Not a single paper figure — this is the §5/§8 trade-off table for the
+whole registered :mod:`repro.reconcile` catalog on one working set:
+build throughput (the vectorised hashing hot path), reconciliation
+throughput (difference search where supported, estimation otherwise),
+and honest wire bytes.  With ``REPRO_BENCH_JSON=<dir>`` the rows land
+in ``BENCH_summaries.json``.
+"""
+
+import random
+import time
+
+from conftest import print_series, write_bench_json
+
+from repro.reconcile import build_summary, summary_class, summary_kinds
+
+#: Working-set size for the head-to-head (CPI gets a small-discrepancy
+#: pairing so its Θ(d³) recovery stays benchmark-scale).
+SET_SIZE = 20_000
+CPI_DISCREPANCY = 120
+
+#: Per-kind build parameters at a comparable ~8 bits/element budget.
+PARAMS = {
+    "minwise": {"entries": 128},
+    "modk": {"modulus": 8},
+    "random_sample": {"k": 1024},
+    "bloom": {"bits_per_element": 8},
+    "counting_bloom": {"buckets_per_element": 1},
+    "partitioned_bloom": {"rho": 8, "beta": 0, "bits_per_element": 8},
+    "art": {"bits_per_element": 8, "correction": 2},
+    "cpi": {"max_discrepancy": CPI_DISCREPANCY + 16},
+    "hashset": {"hash_bits": 32},
+    "wholeset": {},
+}
+
+
+def _sets(rng):
+    """A 20k-element pair; CPI reconciles a low-discrepancy variant."""
+    universe = 1 << 30
+    a = set(rng.sample(range(universe), SET_SIZE))
+    b = set(a)
+    b.difference_update(rng.sample(sorted(a), CPI_DISCREPANCY // 2))
+    b.update(rng.sample(range(universe), CPI_DISCREPANCY // 2))
+    return a, b
+
+
+def test_summary_catalog_tradeoff(benchmark):
+    rng = random.Random(29)
+    a, b = _sets(rng)
+    b_list = sorted(b)
+    rows, records = [], []
+
+    def sweep():
+        rows.clear()
+        records.clear()
+        for kind in summary_kinds():
+            cls = summary_class(kind)
+            params = PARAMS[kind]
+            t0 = time.perf_counter()
+            mine = build_summary(kind, a, **params)
+            build_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            if cls.supports_difference:
+                found = len(mine.missing_from(b_list))
+                mode = "search"
+            else:
+                theirs = build_summary(kind, b, **params)
+                found = theirs.estimate_difference(mine)
+                mode = "estimate"
+            reconcile_s = time.perf_counter() - t0
+            record = {
+                "kind": kind,
+                "set_size": SET_SIZE,
+                "wire_bytes": mine.wire_bytes(),
+                "bits_per_element": 8 * mine.wire_bytes() / SET_SIZE,
+                "build_keys_per_s": SET_SIZE / build_s if build_s else float("inf"),
+                "reconcile_mode": mode,
+                "reconcile_seconds": reconcile_s,
+                "difference_found": found,
+                "capabilities": cls.capabilities(),
+            }
+            records.append(record)
+            rows.append(
+                f"{kind:18s} wire={record['wire_bytes']:>9d}B "
+                f"({record['bits_per_element']:6.2f} b/elt)  "
+                f"build={record['build_keys_per_s'] / 1e3:8.1f} k keys/s  "
+                f"{mode}={reconcile_s * 1e3:8.2f} ms  found={found:.0f}"
+            )
+        return records
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("summary catalog: wire size vs build/reconcile cost", rows)
+    write_bench_json("summaries", records)
+    # Sanity: every registered kind was measured, honestly sized.
+    assert {r["kind"] for r in records} == set(summary_kinds())
+    assert all(r["wire_bytes"] > 0 for r in records)

@@ -19,6 +19,11 @@ Subpackages:
 * :mod:`repro.filters` — Bloom filter summaries (§5.2).
 * :mod:`repro.art` — approximate reconciliation trees (§5.3).
 * :mod:`repro.exact` — exact reconciliation baselines (§5.1).
+* :mod:`repro.reconcile` — the one :class:`~repro.reconcile.Summary`
+  interface over all of the above: a string-keyed adapter registry
+  (``build_summary("art", ids)``), wire payload round trips, and the
+  :class:`~repro.reconcile.SummaryPolicy` the protocol and strategy
+  layers consume.
 * :mod:`repro.coding` — sparse parity-check codes and recoding (§5.4).
 * :mod:`repro.delivery` — strategies and transfer simulation (§6).
 * :mod:`repro.overlay` — adaptive overlay network substrate (§2).
@@ -75,6 +80,10 @@ def __getattr__(name):
         from repro import api
 
         return getattr(api, name)
+    if name in ("Summary", "SummaryPolicy", "build_summary", "summary_kinds"):
+        from repro import reconcile
+
+        return getattr(reconcile, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
@@ -82,6 +91,10 @@ __all__ = [
     "ExperimentSpec",
     "RunResult",
     "run",
+    "Summary",
+    "SummaryPolicy",
+    "build_summary",
+    "summary_kinds",
     "derive_rng",
     "derive_seed",
     "ApproximateReconciliationTree",

@@ -39,6 +39,7 @@ from repro.api.spec import (
     NodeSpec,
     SpecError,
     StrategySpec,
+    SummarySpec,
     SwarmSpec,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "LinkSpec",
     "LinkRuleSpec",
     "StrategySpec",
+    "SummarySpec",
     "ChurnSpec",
     "MeasurementSpec",
     "BuiltExperiment",

@@ -20,7 +20,37 @@ import sys
 from typing import List, Optional
 
 from repro.api import registry, run
-from repro.api.spec import ExperimentSpec, SpecError
+from repro.api.spec import ExperimentSpec, SpecError, SummarySpec
+from repro.reconcile import SummaryError
+
+
+def parse_summary_arg(text: str) -> SummarySpec:
+    """Parse ``kind[:param=val,...]`` into a :class:`SummarySpec`.
+
+    Values parse as JSON scalars where possible (``8`` -> int,
+    ``0.5`` -> float, ``true`` -> bool) and stay strings otherwise.
+    Malformed input raises :class:`SpecError` (CLI exit status 2).
+    """
+    import json as _json
+
+    kind, _, tail = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise SpecError("--summary needs a summary kind before ':'")
+    params = {}
+    if tail.strip():
+        for item in tail.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise SpecError(
+                    f"--summary parameter {item!r} is not of the form param=val"
+                )
+            try:
+                params[key] = _json.loads(value.strip())
+            except _json.JSONDecodeError:
+                params[key] = value.strip()
+    return SummarySpec(kind=kind, params=params)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,6 +79,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the spec's master seed"
     )
     parser.add_argument(
+        "--summary",
+        metavar="KIND[:PARAM=VAL,...]",
+        help=(
+            "override the spec's summary selection, e.g. 'bloom', "
+            "'art:bits_per_element=16,correction=2', 'cpi:max_discrepancy=128'"
+        ),
+    )
+    parser.add_argument(
         "--out", metavar="FILE", help="write the result JSON here instead of stdout"
     )
     parser.add_argument(
@@ -75,6 +113,13 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
         spec = registry.small_spec(args.scenario)
     if args.seed is not None:
         spec = dataclasses.replace(spec, seed=args.seed)
+    if args.summary:
+        spec = dataclasses.replace(
+            spec,
+            strategy=dataclasses.replace(
+                spec.strategy, summary=parse_summary_arg(args.summary)
+            ),
+        )
     return spec
 
 
@@ -102,6 +147,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         result = run(spec)
     except (SpecError, registry.UnknownScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SummaryError as exc:
+        # A summary operation its structure cannot support (e.g. a
+        # kind/strategy combination with no information to act on).
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

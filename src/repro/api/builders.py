@@ -87,6 +87,19 @@ def _require_swarm(spec: ExperimentSpec) -> SwarmSpec:
     return spec.swarm
 
 
+def _summary_policy(spec: ExperimentSpec):
+    """The spec's summary policy, or None for the legacy hardcoded pair.
+
+    ``None`` keeps :func:`~repro.delivery.strategies.make_strategy`,
+    :class:`~repro.protocol.peer.ProtocolPeer`, and
+    :class:`~repro.protocol.session.TransferSession` on their
+    bit-identical historical paths — the parity tests depend on it.
+    """
+    if spec.strategy.summary is None:
+        return None
+    return spec.strategy.summary.policy()
+
+
 def _source_group(swarm: SwarmSpec) -> NodeSpec:
     """The swarm's single source group (the builders honour its name
     and link-rule class; multi-source swarms are not yet expressible)."""
@@ -150,6 +163,7 @@ def _base_simulator(
         admission=SketchAdmission(family),
         rewiring=UtilityRewiring(family, rng=rng),
         strategy_name=spec.strategy.name,
+        summary_policy=_summary_policy(spec),
         reconfigure_every=swarm.reconfigure_every,
         rng=rng,
         link_factory=link_factory,
@@ -567,7 +581,7 @@ def build_source_departure(spec: ExperimentSpec) -> BuiltExperiment:
 # ---------------------------------------------------------------------------
 
 
-def asymmetric_bandwidth_swarm(
+def asymmetric_bandwidth(
     num_fast: int = 6,
     num_slow: int = 6,
     target: int = 100,
@@ -579,7 +593,11 @@ def asymmetric_bandwidth_swarm(
     strategy_name: str = "Recode/BF",
     max_ticks: int = 10_000,
 ) -> ExperimentSpec:
-    """Spec: a fast backbone class and a slow, jittery edge class."""
+    """Spec: a fast backbone class and a slow, jittery edge class.
+
+    Canonical name, matching the registry key; the historical
+    ``asymmetric_bandwidth_swarm`` remains as a deprecated alias.
+    """
     return ExperimentSpec(
         scenario="asymmetric_bandwidth",
         seed=seed,
@@ -628,9 +646,26 @@ def asymmetric_bandwidth_swarm(
     )
 
 
+def asymmetric_bandwidth_swarm(*args, **kwargs) -> ExperimentSpec:
+    """Deprecated alias for :func:`asymmetric_bandwidth`.
+
+    The registry key was always ``"asymmetric_bandwidth"``; the spec
+    constructor finally matches it.
+    """
+    import warnings
+
+    warnings.warn(
+        "asymmetric_bandwidth_swarm() is deprecated; use the canonical "
+        "asymmetric_bandwidth() (same signature, same registry key)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return asymmetric_bandwidth(*args, **kwargs)
+
+
 @scenario(
     "asymmetric_bandwidth",
-    small_spec=lambda: asymmetric_bandwidth_swarm(
+    small_spec=lambda: asymmetric_bandwidth(
         num_fast=3, num_slow=3, target=40, seed=3
     ),
     description="A fast backbone class and a slow, jittery edge class in one swarm",
@@ -910,6 +945,7 @@ def build_pair_transfer(spec: ExperimentSpec) -> BuiltExperiment:
             rng,
             bloom_bits_per_element=spec.strategy.bloom_bits_per_element,
             symbols_desired=int(desired),
+            summary_policy=_summary_policy(spec),
         )
         if full_senders == 0:
             result = simulate_p2p_transfer(
@@ -1001,6 +1037,7 @@ def build_multi_sender_transfer(spec: ExperimentSpec) -> BuiltExperiment:
                 rng,
                 bloom_bits_per_element=spec.strategy.bloom_bits_per_element,
                 symbols_desired=desired,
+                summary_policy=_summary_policy(spec),
             )
             for sender_set in layout.senders
         ]
@@ -1117,18 +1154,23 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
             if spec.measurement.record_series
             else None
         )
+        policy = _summary_policy(spec)
         source = ProtocolPeer(
             src_name,
             params,
             content=content,
             rng=derive_rng(spec.seed, "session_swarm", src_name),
+            summary_policy=policy,
         )
         drivers = []
         sessions = {}
         shared: Dict[str, GilbertElliottProcess] = {}
         for name in receivers.member_ids():
             peer = ProtocolPeer(
-                name, params, rng=derive_rng(spec.seed, "session_swarm", name)
+                name,
+                params,
+                rng=derive_rng(spec.seed, "session_swarm", name),
+                summary_policy=policy,
             )
             session = TransferSession(
                 source,
@@ -1194,6 +1236,7 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
 __all__ = [
     "flash_crowd",
     "source_departure",
+    "asymmetric_bandwidth",
     "asymmetric_bandwidth_swarm",
     "correlated_regional_loss",
     "pair_transfer",

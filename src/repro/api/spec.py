@@ -189,11 +189,59 @@ class SwarmSpec:
 
 
 @dataclass(frozen=True)
+class SummarySpec:
+    """Which working-set summary peers exchange, and its parameters.
+
+    ``kind`` names a registered :class:`~repro.reconcile.base.Summary`
+    adapter (``"minwise"``, ``"bloom"``, ``"art"``, ``"cpi"``, ...);
+    ``params`` holds that adapter's scalar build parameters, stored as
+    sorted pairs so the spec stays hashable (read with :meth:`param`).
+    A spec that validates always resolves to a buildable
+    :class:`~repro.reconcile.SummaryPolicy` (:meth:`policy`).
+    """
+
+    kind: str = "bloom"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.kind), "summary kind must be non-empty")
+        from repro.reconcile import UnknownSummaryError, summary_class
+
+        try:
+            summary_class(self.kind)
+        except UnknownSummaryError as exc:
+            raise SpecError(str(exc)) from None
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def policy(self):
+        """The :class:`~repro.reconcile.SummaryPolicy` this spec names."""
+        from repro.reconcile import SummaryPolicy
+
+        return SummaryPolicy(kind=self.kind, params=self.params_dict())
+
+
+@dataclass(frozen=True)
 class StrategySpec:
-    """Sender strategy selection (the Figure 5-8 legend) and summary budget."""
+    """Sender strategy selection (the Figure 5-8 legend) and summary budget.
+
+    ``summary`` (a :class:`SummarySpec`) swaps the hardcoded
+    min-wise/Bloom structures for any registered summary kind across
+    the strategy, protocol, and session layers; ``None`` keeps the
+    historical behaviour bit-identically.
+    """
 
     name: str = "Recode/BF"
     bloom_bits_per_element: int = 8
+    summary: Optional["SummarySpec"] = None
 
     def __post_init__(self) -> None:
         _require_int(self.bloom_bits_per_element, "bloom_bits_per_element")
@@ -297,12 +345,28 @@ class ExperimentSpec:
         merged.update(updates)
         return dataclasses.replace(self, params=_freeze_params(merged))
 
+    @property
+    def summary(self) -> Optional[SummarySpec]:
+        """The experiment's summary selection (``strategy.summary``)."""
+        return self.strategy.summary
+
+    def with_summary(self, kind: str, **params: Any) -> "ExperimentSpec":
+        """A copy selecting a summary kind for the whole experiment."""
+        return dataclasses.replace(
+            self,
+            strategy=dataclasses.replace(
+                self.strategy, summary=SummarySpec(kind=kind, params=params)
+            ),
+        )
+
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON-types dict; inverse of :meth:`from_dict`."""
         out = dataclasses.asdict(self)
         out["params"] = self.params_dict()
+        if self.strategy.summary is not None:
+            out["strategy"]["summary"]["params"] = self.strategy.summary.params_dict()
         if self.swarm is not None:
             out["swarm"]["nodes"] = [dataclasses.asdict(n) for n in self.swarm.nodes]
             out["swarm"]["links"] = [dataclasses.asdict(r) for r in self.swarm.links]
@@ -321,7 +385,7 @@ class ExperimentSpec:
             scenario=data["scenario"],
             seed=data.get("seed", 0),
             swarm=_swarm_from_dict(swarm) if swarm is not None else None,
-            strategy=_component_from_dict(StrategySpec, data.get("strategy")),
+            strategy=_strategy_from_dict(data.get("strategy")),
             churn=_component_from_dict(ChurnSpec, churn) if churn is not None else None,
             measurement=_component_from_dict(MeasurementSpec, data.get("measurement")),
             params=_freeze_params(data.get("params", ())),
@@ -366,6 +430,30 @@ def _component_from_dict(cls: type, data: Optional[Mapping[str, Any]]):
     return _construct(cls, data)
 
 
+def _summary_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[SummarySpec]:
+    if data is None:
+        return None
+    _check_keys(SummarySpec, data)
+    params = data.get("params", ())
+    _require(
+        params is None or isinstance(params, (Mapping, list, tuple)),
+        "SummarySpec params must be an object of scalars",
+    )
+    return _construct(
+        SummarySpec,
+        {"kind": data.get("kind", "bloom"), "params": _freeze_params(params or ())},
+    )
+
+
+def _strategy_from_dict(data: Optional[Mapping[str, Any]]) -> StrategySpec:
+    if data is None:
+        return StrategySpec()
+    _check_keys(StrategySpec, data)
+    kwargs = dict(data)
+    kwargs["summary"] = _summary_from_dict(data.get("summary"))
+    return _construct(StrategySpec, kwargs)
+
+
 def _spec_list(data: Mapping[str, Any], key: str, parent: str) -> tuple:
     value = data.get(key, ())
     _require(
@@ -407,6 +495,7 @@ __all__ = [
     "LinkRuleSpec",
     "NodeSpec",
     "SwarmSpec",
+    "SummarySpec",
     "StrategySpec",
     "ChurnSpec",
     "MeasurementSpec",

@@ -4,10 +4,15 @@
 ``specs.pair_transfer(...)``, etc. — each returns a complete
 :class:`~repro.api.spec.ExperimentSpec` ready for
 :func:`repro.api.run` or ``spec.to_json()``.
+
+Every constructor's name matches its registry key exactly (one
+canonical name everywhere); ``asymmetric_bandwidth_swarm`` survives
+only as a deprecated alias of ``asymmetric_bandwidth``.
 """
 
 from repro.api.builders import (
-    asymmetric_bandwidth_swarm,
+    asymmetric_bandwidth,
+    asymmetric_bandwidth_swarm,  # deprecated alias, warns on call
     correlated_regional_loss,
     flash_crowd,
     multi_sender_transfer,
@@ -15,10 +20,7 @@ from repro.api.builders import (
     session_swarm,
     source_departure,
 )
-
-#: Alias matching the registry key (the legacy function name kept the
-#: longer ``_swarm`` suffix).
-asymmetric_bandwidth = asymmetric_bandwidth_swarm
+from repro.api.tradeoff import summary_tradeoff
 
 __all__ = [
     "flash_crowd",
@@ -29,4 +31,5 @@ __all__ = [
     "pair_transfer",
     "multi_sender_transfer",
     "session_swarm",
+    "summary_tradeoff",
 ]

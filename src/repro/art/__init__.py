@@ -16,7 +16,7 @@ from typing import Iterable, Optional
 
 from repro.art.search import SearchStats, find_difference
 from repro.art.summary import ARTSummary, ExactTreeSummary
-from repro.art.tree import ReconciliationTrie, TrieNode
+from repro.art.tree import ReconciliationTrie, TrieNode, value_hash
 
 __all__ = [
     "ApproximateReconciliationTree",
@@ -26,6 +26,7 @@ __all__ = [
     "TrieNode",
     "SearchStats",
     "find_difference",
+    "value_hash",
 ]
 
 

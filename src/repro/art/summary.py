@@ -83,6 +83,44 @@ class ARTSummary:
             trie.internal_values(), internal_bits, internal_hashes, trie.seed ^ 0x137EE
         )
 
+    @classmethod
+    def from_filters(
+        cls,
+        leaf_filter: BloomFilter,
+        internal_filter: BloomFilter,
+        seed: int,
+        bits_per_element: int = 8,
+        leaf_bits_per_element: Optional[float] = None,
+    ) -> "ARTSummary":
+        """Reconstruct a summary received over the wire.
+
+        The two Bloom filters travel as raw bit arrays plus their
+        ``(m, k, seed)`` headers; no trie is rebuilt — a reconstructed
+        summary answers :meth:`matches_internal`/:meth:`matches_leaf`
+        exactly as the original did.
+        """
+        summary = cls.__new__(cls)
+        summary.seed = seed
+        summary.bits_per_element = bits_per_element
+        summary.leaf_bits_per_element = (
+            leaf_bits_per_element
+            if leaf_bits_per_element is not None
+            else bits_per_element / 2
+        )
+        summary._leaf_filter = leaf_filter
+        summary._internal_filter = internal_filter
+        return summary
+
+    @property
+    def leaf_filter(self) -> BloomFilter:
+        """The leaf-value Bloom filter (wire serialisation surface)."""
+        return self._leaf_filter
+
+    @property
+    def internal_filter(self) -> BloomFilter:
+        """The internal-node-value Bloom filter."""
+        return self._internal_filter
+
     def matches_internal(self, value: int) -> bool:
         """Bloom test of ``value`` against the internal-node filter."""
         return value in self._internal_filter

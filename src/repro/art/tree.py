@@ -32,6 +32,22 @@ from repro.hashing.mix import mix64
 #: the Bloom-filter false positives we deliberately trade for size.
 _VALUE_BITS = 64
 
+#: Seed tweak separating the value hash ``H2`` from the position hash.
+_VALUE_SEED_XOR = 0x1122334455667788
+
+
+def value_hash(key: int, seed: int) -> int:
+    """``H2(key)`` for a trie built with ``seed`` — leaf value of ``key``.
+
+    A module-level function (not just a trie method) because the value
+    hash depends only on the agreed seed, never on the builder's set
+    size: any peer knowing the seed can compute the leaf value a key
+    *would* carry and probe a received leaf filter with it, which is
+    what gives ART summaries a single-key membership surface.
+    """
+    v = mix64(key, seed ^ _VALUE_SEED_XOR) & ((1 << _VALUE_BITS) - 1)
+    return v or 1
+
 
 class TrieNode:
     """One collapsed node: an interval of the hashed universe and its value.
@@ -77,7 +93,6 @@ class ReconciliationTrie:
         # floored at 2^16 so tiny sets still get collision-free balancing.
         self.position_bits = max(16, 2 * max(1, (self.size - 1).bit_length()))
         self._pos_seed = seed ^ 0xA1B2C3D4E5F60718
-        self._val_seed = seed ^ 0x1122334455667788
         self.root: Optional[TrieNode] = None
         self.collision_count = 0
         for key in pool:
@@ -95,8 +110,7 @@ class ReconciliationTrie:
         Forced non-zero (range ``[1, h)``) so a leaf value never cancels a
         subtree to the XOR identity.
         """
-        v = mix64(key, self._val_seed) & ((1 << _VALUE_BITS) - 1)
-        return v or 1
+        return value_hash(key, self.seed)
 
     # -- construction -----------------------------------------------------
 

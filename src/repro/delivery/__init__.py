@@ -22,9 +22,11 @@ from repro.delivery.strategies import (
     STRATEGY_NAMES,
     RandomBFStrategy,
     RandomStrategy,
+    RandomSummaryStrategy,
     RecodeBFStrategy,
     RecodeMWStrategy,
     RecodeStrategy,
+    RecodeSummaryStrategy,
     SenderStrategy,
     make_strategy,
 )
@@ -54,8 +56,10 @@ __all__ = [
     "SenderStrategy",
     "RandomStrategy",
     "RandomBFStrategy",
+    "RandomSummaryStrategy",
     "RecodeStrategy",
     "RecodeBFStrategy",
+    "RecodeSummaryStrategy",
     "RecodeMWStrategy",
     "STRATEGY_NAMES",
     "make_strategy",

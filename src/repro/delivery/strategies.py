@@ -172,6 +172,67 @@ class RecodeBFStrategy(_RecodeBase):
         self.filtered_out = len(working_set) - len(useful)
 
 
+class RandomSummaryStrategy(SenderStrategy):
+    """Random selection over a summary-reconciled useful domain.
+
+    The generic form of Random/BF: the useful domain was computed from
+    *any* difference-capable :class:`~repro.reconcile.base.Summary`
+    (Bloom, counting/partitioned Bloom, ART search, exact CPI...).
+    Falls back to the whole pool when the domain is empty, like
+    :class:`RandomBFStrategy`.
+    """
+
+    name = "Random/summary"
+
+    def __init__(
+        self,
+        working_set: WorkingSet,
+        useful_domain: Sequence[int],
+        rng: Optional[random.Random] = None,
+        label: Optional[str] = None,
+    ):
+        super().__init__(working_set, rng)
+        self._useful = list(useful_domain)
+        self.filtered_out = len(self._pool) - len(self._useful)
+        if label:
+            self.name = label
+
+    def next_packet(self) -> Packet:
+        pool = self._useful if self._useful else self._pool
+        return Packet.encoded(self._uniform_id(pool))
+
+
+class RecodeSummaryStrategy(_RecodeBase):
+    """Recoding over a summary-reconciled useful domain.
+
+    The generic form of Recode/BF, for any difference-capable summary;
+    the degree distribution starts at 1 exactly as with a Bloom-purged
+    domain, since everything in the domain is (modulo the structure's
+    stated error) useful.
+    """
+
+    name = "Recode/summary"
+
+    def __init__(
+        self,
+        working_set: WorkingSet,
+        useful_domain: Sequence[int],
+        symbols_desired: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        label: Optional[str] = None,
+    ):
+        super().__init__(
+            working_set,
+            domain=list(useful_domain),
+            min_degree=1,
+            domain_limit=symbols_desired,
+            rng=rng,
+        )
+        self.filtered_out = len(working_set) - len(useful_domain)
+        if label:
+            self.name = label
+
+
 class RecodeMWStrategy(_RecodeBase):
     """Recoding with the min-wise-informed degree shift (Section 6.2).
 
@@ -215,6 +276,8 @@ def make_strategy(
     bloom_bits_per_element: int = 8,
     correlation_estimate: Optional[float] = None,
     symbols_desired: Optional[int] = None,
+    summary_policy=None,
+    receiver_summary=None,
 ) -> SenderStrategy:
     """Construct a strategy by legend name, building the summaries it needs.
 
@@ -224,7 +287,27 @@ def make_strategy(
     caller already ran sketch exchange.  ``symbols_desired`` is the count
     the receiver requested from this sender (Section 6.1) and bounds the
     Recode/BF recoding domain.
+
+    ``summary_policy`` (a :class:`~repro.reconcile.SummaryPolicy`)
+    swaps the hardcoded structures for any registered summary kind:
+    the ``/BF`` strategies reconcile through the policy's summary
+    (Bloom, ART, CPI, ...) and ``Recode/MW`` takes its correlation from
+    the policy's estimator.  ``None`` preserves the historical
+    behaviour bit-for-bit.  ``receiver_summary`` supplies the
+    receiver's already-built policy summary (callers that measured its
+    wire size need not pay the build twice).
     """
+    if summary_policy is not None:
+        return _make_policy_strategy(
+            name,
+            sender_set,
+            receiver_set,
+            rng,
+            summary_policy,
+            correlation_estimate=correlation_estimate,
+            symbols_desired=symbols_desired,
+            receiver_summary=receiver_summary,
+        )
     if name == "Random":
         return RandomStrategy(sender_set, rng)
     if name == "Random/BF":
@@ -251,4 +334,98 @@ def make_strategy(
             inter = len(sender_set.ids & receiver_set.ids)
             c = inter / len(sender_set) if len(sender_set) else 0.0
         return RecodeMWStrategy(sender_set, c, rng)
+    raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")
+
+
+def _policy_useful_subset(policy, sender_set, receiver_set, remote=None):
+    """The receiver-lacks subset, or None when the summary yields none.
+
+    An exact summary whose discrepancy bound proves too small (CPI)
+    provides no information — the caller then falls back to oblivious
+    selection, mirroring :class:`~repro.protocol.session.
+    TransferSession`'s handling rather than crashing the run.
+    """
+    from repro.exact.cpi import DiscrepancyExceeded
+
+    if remote is None:
+        remote = policy.build(receiver_set)
+    try:
+        return policy.useful_subset(remote, list(sender_set))
+    except DiscrepancyExceeded:
+        return None
+
+
+def _make_policy_strategy(
+    name: str,
+    sender_set: WorkingSet,
+    receiver_set: WorkingSet,
+    rng: random.Random,
+    policy,
+    correlation_estimate: Optional[float] = None,
+    symbols_desired: Optional[int] = None,
+    receiver_summary=None,
+) -> SenderStrategy:
+    """The policy-driven construction behind :func:`make_strategy`.
+
+    The receiver's summary is built through the policy (as the receiver
+    itself would) and reconciled on the sender side via the generic
+    :class:`~repro.reconcile.base.Summary` surface.
+    """
+    if name == "Random":
+        return RandomStrategy(sender_set, rng)
+    if name == "Recode":
+        return RecodeStrategy(sender_set, rng)
+    def blind(cls, base: str) -> SenderStrategy:
+        # Oblivious fallback when the summary provides nothing to act
+        # on — a sketch-only policy under Random (estimates cannot
+        # steer uniform selection) or an exceeded CPI bound.  The label
+        # records the information the strategy lacked.
+        strategy = cls(sender_set, rng)
+        strategy.name = f"{base}/{policy.kind}-blind"
+        return strategy
+
+    if name == "Random/BF":
+        useful = (
+            _policy_useful_subset(
+                policy, sender_set, receiver_set, remote=receiver_summary
+            )
+            if policy.can_filter
+            else None
+        )
+        if useful is None:
+            return blind(RandomStrategy, "Random")
+        return RandomSummaryStrategy(
+            sender_set, useful, rng, label=f"Random/{policy.kind}"
+        )
+    if name == "Recode/BF":
+        if policy.can_filter:
+            useful = _policy_useful_subset(
+                policy, sender_set, receiver_set, remote=receiver_summary
+            )
+            if useful is None:
+                return blind(RecodeStrategy, "Recode")
+            return RecodeSummaryStrategy(
+                sender_set,
+                useful,
+                symbols_desired=symbols_desired,
+                rng=rng,
+                label=f"Recode/{policy.kind}",
+            )
+        # An estimate-only summary (a sketch) cannot purge the domain;
+        # the informed fallback is the correlation-shifted degree of
+        # Recode/MW — the same spec runs every kind, each using all the
+        # information its summary actually provides.
+        name = "Recode/MW"
+    if name == "Recode/MW":
+        c = correlation_estimate
+        if c is None:
+            remote = (
+                receiver_summary
+                if receiver_summary is not None
+                else policy.build(receiver_set)
+            )
+            c = policy.correlation(remote, list(sender_set))
+        strategy = RecodeMWStrategy(sender_set, c, rng)
+        strategy.name = f"Recode/{policy.kind}-est"
+        return strategy
     raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

@@ -70,6 +70,26 @@ class WorkingSet:
             return 0.0
         return len(self._ids & other._ids) / len(union)
 
+    # -- the generic summary surface ----------------------------------------
+
+    def summary(self, kind: str, **params):
+        """Build any registered :class:`~repro.reconcile.base.Summary`.
+
+        One call covers the whole cost/precision spectrum::
+
+            ws.summary("minwise", entries=128)        # 1KB calling card
+            ws.summary("bloom", bits_per_element=8)   # searchable summary
+            ws.summary("art", bits_per_element=8)     # reconciliation tree
+            ws.summary("cpi", max_discrepancy=64)     # exact baseline
+
+        The typed helpers below remain for callers that want the
+        concrete structures; this is the surface the protocol, the
+        strategies, and the spec layer go through.
+        """
+        from repro.reconcile import build_summary
+
+        return build_summary(kind, self._ids, **params)
+
     # -- calling cards ------------------------------------------------------
 
     def minwise_sketch(self, family: PermutationFamily) -> MinwiseSketch:

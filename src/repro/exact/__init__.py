@@ -16,11 +16,16 @@ trade-off can be measured rather than asserted:
 
 from repro.exact.wholeset import whole_set_difference
 from repro.exact.hashset import HashSetSummary
-from repro.exact.cpi import CharacteristicPolynomialReconciler, CPISketch
+from repro.exact.cpi import (
+    CharacteristicPolynomialReconciler,
+    CPISketch,
+    DiscrepancyExceeded,
+)
 
 __all__ = [
     "whole_set_difference",
     "HashSetSummary",
     "CharacteristicPolynomialReconciler",
     "CPISketch",
+    "DiscrepancyExceeded",
 ]

@@ -30,7 +30,11 @@ from typing import Iterable, List, Sequence, Set
 
 _P = (1 << 61) - 1  # field modulus
 _KEY_LIMIT = 1 << 60  # keys must be below this; sample points at/above it
-_VERIFY_POINTS = 4  # reserve points used only for checking the solution
+
+#: Reserve points used only for checking the solution; every sketch
+#: sized for discrepancy ``d`` carries ``d + VERIFY_POINTS`` evaluations.
+VERIFY_POINTS = 4
+_VERIFY_POINTS = VERIFY_POINTS
 
 
 class DiscrepancyExceeded(ValueError):

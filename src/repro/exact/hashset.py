@@ -33,6 +33,20 @@ class HashSetSummary:
         bits = min(64, max(8, exponent * (n - 1).bit_length()))
         return cls(pool, hash_bits=bits, seed=seed)
 
+    @classmethod
+    def from_hashes(
+        cls, hashes: Iterable[int], hash_bits: int, seed: int = 0
+    ) -> "HashSetSummary":
+        """Reconstruct a summary received over the wire (hashes, not keys)."""
+        summary = cls((), hash_bits=hash_bits, seed=seed)
+        summary._hashes = frozenset(hashes)
+        return summary
+
+    @property
+    def hashes(self) -> FrozenSet[int]:
+        """The hashed keys that travel on the wire."""
+        return self._hashes
+
     def _hash(self, key: int) -> int:
         return mix64(key, self.seed) >> (64 - self.hash_bits)
 

@@ -90,6 +90,22 @@ class BloomFilter:
         for key in keys:
             self.add(key)
 
+    def bulk_update(self, keys: Iterable[int]) -> None:
+        """Insert many keys via the vectorised hash path.
+
+        Bit-identical to :meth:`update` (bit-OR insertion is order
+        free); an order of magnitude faster for the thousands-of-keys
+        builds the summary adapters perform.
+        """
+        from repro.hashing.batch import bloom_index_rows
+
+        key_list = list(keys)
+        bits = self._bits
+        for row in bloom_index_rows(self._hashes, key_list):
+            for idx in row:
+                bits[idx >> 3] |= 1 << (idx & 7)
+        self.count += len(key_list)
+
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, key: int) -> bool:

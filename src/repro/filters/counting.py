@@ -7,6 +7,7 @@ sets shrink (symbols discarded after decoding finishes or when re-encoding
 frees buffer space) without forcing a full summary rebuild.
 """
 
+import struct
 from array import array
 from typing import Iterable
 
@@ -79,6 +80,41 @@ class CountingBloomFilter:
         counters = self._counters
         return all(counters[idx] > 0 for idx in self._hashes.indices(key))
 
+    def merge(self, other: "CountingBloomFilter") -> "CountingBloomFilter":
+        """Counter-wise sum of two filters built with identical parameters.
+
+        The counting analogue of Bloom union: the result summarises the
+        multiset union (counters saturate rather than wrap).
+        """
+        if (self.m, self.k, self.seed) != (other.m, other.k, other.seed):
+            raise ValueError("filters must share (m, k, seed) to be merged")
+        out = CountingBloomFilter(self.m, self.k, self.seed)
+        out._counters = array(
+            "H",
+            (
+                min(self._COUNTER_MAX, a + b)
+                for a, b in zip(self._counters, other._counters)
+            ),
+        )
+        out.count = self.count + other.count
+        return out
+
     def size_bytes(self) -> int:
         """In-memory size of the counter array."""
         return 2 * self.m
+
+    def to_bytes(self) -> bytes:
+        """Serialise the counters little-endian (headers travel separately)."""
+        return struct.pack(f"<{self.m}H", *self._counters)
+
+    @classmethod
+    def from_bytes(
+        cls, payload: bytes, m_buckets: int, k_hashes: int, seed: int = 0, count: int = 0
+    ) -> "CountingBloomFilter":
+        """Reconstruct a filter received over the wire."""
+        if len(payload) != 2 * m_buckets:
+            raise ValueError("payload length does not match m_buckets")
+        cbf = cls(m_buckets, k_hashes, seed)
+        cbf._counters = array("H", struct.unpack(f"<{m_buckets}H", payload))
+        cbf.count = count
+        return cbf

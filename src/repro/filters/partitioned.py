@@ -44,6 +44,38 @@ class PartitionedBloomFilter:
             members, bits_per_element=bits_per_element, k_hashes=k_hashes, seed=seed
         )
 
+    @classmethod
+    def from_filter(
+        cls,
+        bloom: BloomFilter,
+        rho: int,
+        beta: int,
+        seed: int = 0,
+        member_count: int = 0,
+    ) -> "PartitionedBloomFilter":
+        """Reconstruct a partition filter received over the wire.
+
+        The underlying Bloom filter travels as bits plus headers; the
+        partition parameters ``(rho, beta, seed)`` identify the residue
+        class it is authoritative for.
+        """
+        if rho <= 0:
+            raise ValueError("partition count rho must be positive")
+        if not 0 <= beta < rho:
+            raise ValueError("residue beta must lie in [0, rho)")
+        pf = cls.__new__(cls)
+        pf.rho = rho
+        pf.beta = beta
+        pf.seed = seed
+        pf.member_count = member_count
+        pf._filter = bloom
+        return pf
+
+    @property
+    def bloom(self) -> BloomFilter:
+        """The underlying Bloom filter (wire serialisation surface)."""
+        return self._filter
+
     def _in_partition(self, key: int) -> bool:
         return mix64(key, self.seed) % self.rho == self.beta
 

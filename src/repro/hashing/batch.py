@@ -1,0 +1,139 @@
+"""Vectorised hashing hot paths shared across summary adapters.
+
+Every summary structure in the library reduces to one of two per-key
+kernels: a linear permutation ``(a*x + b) mod u`` (min-wise sketches)
+or the splitmix64 finaliser (:func:`repro.hashing.mix.mix64` — Bloom
+indices, mod-k sampling, hash-set summaries, ART value hashes).
+Building a summary evaluates one of them over the whole working set,
+so this module provides numpy-batched versions that are *bit-identical*
+to the scalar loops — adapters can switch freely between the two
+without changing any wire value.
+
+numpy is imported lazily so the scalar library stays importable in
+minimal environments; every helper falls back to the scalar kernel
+when numpy is unavailable or the inputs exceed 64-bit-safe ranges.
+"""
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.hashing.mix import mix64
+
+_MASK64 = (1 << 64) - 1
+
+# splitmix64 constants, mirrored from repro.hashing.mix.
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MUL1 = 0xBF58476D1CE4E5B9
+_SM_MUL2 = 0x94D049BB133111EB
+
+
+def _numpy():
+    """The numpy module, or None when the environment lacks it."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        return None
+    return np
+
+
+def mix64_batch(keys: Sequence[int], seed: int = 0) -> List[int]:
+    """Vectorised :func:`repro.hashing.mix.mix64` over many keys.
+
+    Returns plain Python ints, identical to ``[mix64(x, seed) for x in
+    keys]``.
+    """
+    np = _numpy()
+    key_list = list(keys)
+    if np is None or not key_list:
+        return [mix64(x, seed) for x in key_list]
+    if any(x < 0 or x > _MASK64 for x in key_list):
+        # mix64 masks high bits implicitly via + seed*gamma & mask; keys
+        # beyond 64 bits need Python-int arithmetic to match exactly.
+        return [mix64(x, seed) for x in key_list]
+    with np.errstate(over="ignore"):
+        z = np.asarray(key_list, dtype=np.uint64)
+        z = z + np.uint64(((seed + 1) * _SM_GAMMA) & _MASK64)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM_MUL1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM_MUL2)
+        z = z ^ (z >> np.uint64(31))
+    return [int(v) for v in z]
+
+
+def permutation_minima(family, keys: Iterable[int]) -> List[Optional[int]]:
+    """Per-permutation minima of ``keys`` under a permutation family.
+
+    The batched core of :meth:`repro.sketches.MinwiseSketch.
+    build_vectorized`, shared with the reconcile adapters: evaluates
+    every ``(a*x + b) mod u`` map over all keys at once.  Identical to
+    the scalar loop; an empty key set yields all-``None`` minima.
+
+    Raises:
+        ValueError: if any key falls outside ``[0, u)``.
+    """
+    key_list = list(keys)
+    u = family.universe_size
+    if not key_list:
+        return [None] * len(family)
+    np = _numpy()
+    if np is not None and u <= 1 << 32:
+        try:
+            # Negative or >64-bit keys fail the uint64 conversion and
+            # drop to the scalar path, whose explicit check rejects them.
+            keys64 = np.asarray(key_list, dtype=np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            keys64 = None
+        if keys64 is not None:
+            # Vectorised range check replaces a per-key Python loop.
+            if int(keys64.max()) >= u:
+                raise ValueError("key outside the family's universe")
+            # (a*x + b) stays below 2^64 for a < u <= 2^32: single pass.
+            with np.errstate(over="ignore"):
+                return [
+                    int(
+                        (
+                            (np.uint64(p.a) * keys64 + np.uint64(p.b))
+                            % np.uint64(u)
+                        ).min()
+                    )
+                    for p in family
+                ]
+    # Wide universes overflow uint64 (and no-numpy environments):
+    # Python ints per permutation, still a single pass per map.
+    for x in key_list:
+        if not 0 <= x < u:
+            raise ValueError("key outside the family's universe")
+    return [min((p.a * x + p.b) % u for x in key_list) for p in family]
+
+
+def bloom_index_rows(hashes, keys: Sequence[int]) -> List[List[int]]:
+    """Vectorised :meth:`repro.hashing.families.BloomHashes.indices` rows.
+
+    One ``[g_0(x), ..., g_{k-1}(x)]`` row per key, identical to the
+    scalar double-hashing loop.
+    """
+    key_list = list(keys)
+    np = _numpy()
+    if np is None or not key_list:
+        return [hashes.indices(x) for x in key_list]
+    if any(x < 0 or x > _MASK64 for x in key_list):
+        return [hashes.indices(x) for x in key_list]
+    m, k = hashes.m, hashes.k
+    if m * (k + 1) >= 1 << 63:
+        return [hashes.indices(x) for x in key_list]
+    # The scalar loop computes (h1 + i*h2) % m in unbounded Python ints;
+    # reducing h1 and h2 mod m first keeps every intermediate below
+    # (k+1)*m — uint64-safe — while yielding the identical residues.
+    h1 = np.asarray(mix64_batch(key_list, hashes._seed1), dtype=np.uint64) % np.uint64(m)
+    h2 = (
+        np.asarray(mix64_batch(key_list, hashes._seed2), dtype=np.uint64) | np.uint64(1)
+    ) % np.uint64(m)
+    with np.errstate(over="ignore"):
+        steps = np.arange(k, dtype=np.uint64)
+        rows = (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(m)
+    return [[int(v) for v in row] for row in rows]
+
+
+__all__ = [
+    "mix64_batch",
+    "permutation_minima",
+    "bloom_index_rows",
+]

@@ -158,6 +158,9 @@ class OverlaySimulator:
         sketch_family: shared min-wise family for calling cards.
         admission/rewiring: peering policies (Section 4).
         strategy_name: sender strategy legend name (Figures 5-8).
+        summary_policy: optional :class:`~repro.reconcile.SummaryPolicy`
+            the per-connection strategies reconcile through; ``None``
+            keeps the hardcoded min-wise/Bloom structures bit-identically.
         reconfigure_every / refresh_every: control-plane periods, in
             ticks.
         rng: the single randomness source — seeded runs replay exactly.
@@ -177,6 +180,7 @@ class OverlaySimulator:
         admission: Optional[AdmissionPolicy] = None,
         rewiring: Optional[ReconfigurationPolicy] = None,
         strategy_name: str = "Recode/BF",
+        summary_policy=None,
         reconfigure_every: int = 20,
         refresh_every: int = 20,
         rng: Optional[random.Random] = None,
@@ -189,6 +193,7 @@ class OverlaySimulator:
         self.admission = admission
         self.rewiring = rewiring
         self.strategy_name = strategy_name
+        self.summary_policy = summary_policy
         self.reconfigure_every = reconfigure_every
         self.refresh_every = refresh_every
         self.rng = rng if rng is not None else default_rng("overlay.simulator")
@@ -370,6 +375,7 @@ class OverlaySimulator:
             receiver.working_set,
             self.rng,
             symbols_desired=int(math.ceil(deficit / slots * 1.15)),
+            summary_policy=self.summary_policy,
         )
 
     def _refresh_strategies(self) -> None:

@@ -6,6 +6,7 @@ headers + raw payloads) — the point is faithful sizes, not wire-format
 innovation.
 """
 
+import json
 import struct
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
@@ -19,31 +20,96 @@ class ControlMessage:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
-class HelloMessage(ControlMessage):
-    """Calling card: working-set size plus the min-wise minima vector.
+class _SummaryBearer:
+    """Shared carriage of a generic :class:`~repro.reconcile.base.Summary`.
 
-    128 x 64-bit minima + 8-byte size header ≈ the paper's single 1KB
-    packet.
+    The summary's JSON payload travels as a string (keeping the message
+    dataclasses frozen and hashable); ``summary_wire_bytes`` records the
+    summary's honest serialised size, which is what byte accounting
+    charges — the JSON form is an in-memory convenience, not the wire
+    format.
+    """
+
+    summary_kind: str
+    summary_json: str
+    summary_wire_bytes: int
+
+    @property
+    def carries_summary(self) -> bool:
+        """True when a generic summary payload is aboard."""
+        return bool(self.summary_json)
+
+    def summary(self):
+        """Reconstruct the carried :class:`~repro.reconcile.base.Summary`."""
+        if not self.summary_json:
+            raise ValueError("message carries no generic summary payload")
+        from repro.reconcile import summary_from_payload
+
+        return summary_from_payload(json.loads(self.summary_json))
+
+    @staticmethod
+    def _summary_fields(summary) -> dict:
+        return {
+            "summary_kind": summary.kind,
+            "summary_json": json.dumps(summary.to_payload(), sort_keys=True),
+            "summary_wire_bytes": summary.wire_bytes(),
+        }
+
+
+@dataclass(frozen=True)
+class HelloMessage(ControlMessage, _SummaryBearer):
+    """Calling card: working-set size plus a sketch of the set.
+
+    The legacy form carries the min-wise minima vector inline
+    (128 x 64-bit minima + 8-byte size header ≈ the paper's single 1KB
+    packet).  :meth:`carrying` instead embeds any registered
+    :class:`~repro.reconcile.base.Summary` — the hello then charges the
+    summary's own honest wire size plus the 8-byte header.
     """
 
     set_size: int
-    minima: Tuple[Optional[int], ...]
+    minima: Tuple[Optional[int], ...] = ()
+    summary_kind: str = "minwise"
+    summary_json: str = ""
+    summary_wire_bytes: int = 0
+
+    @classmethod
+    def carrying(cls, summary) -> "HelloMessage":
+        """A hello transporting any payload-bearing summary."""
+        return cls(set_size=summary.set_size, **cls._summary_fields(summary))
 
     def wire_bytes(self) -> int:
+        if self.carries_summary:
+            return 8 + self.summary_wire_bytes
         return 8 + 8 * len(self.minima)
 
 
 @dataclass(frozen=True)
-class SummaryMessage(ControlMessage):
-    """Searchable summary: a serialised Bloom filter of the working set."""
+class SummaryMessage(ControlMessage, _SummaryBearer):
+    """Searchable summary of the working set.
 
-    filter_bytes: bytes
-    m_bits: int
-    k_hashes: int
-    seed: int
+    The legacy form is a serialised Bloom filter (bits + ``(m, k,
+    seed)`` header).  :meth:`carrying` embeds any registered
+    :class:`~repro.reconcile.base.Summary` instead; ``wire_bytes`` then
+    reports that summary's own honest size.
+    """
+
+    filter_bytes: bytes = b""
+    m_bits: int = 0
+    k_hashes: int = 0
+    seed: int = 0
+    summary_kind: str = "bloom"
+    summary_json: str = ""
+    summary_wire_bytes: int = 0
+
+    @classmethod
+    def carrying(cls, summary) -> "SummaryMessage":
+        """A summary message transporting any payload-bearing summary."""
+        return cls(**cls._summary_fields(summary))
 
     def wire_bytes(self) -> int:
+        if self.carries_summary:
+            return self.summary_wire_bytes
         return 12 + len(self.filter_bytes)
 
 

@@ -62,7 +62,15 @@ class CodeParameters:
 
 
 class ProtocolPeer:
-    """A peer holding (some of) the encoded content, with real payloads."""
+    """A peer holding (some of) the encoded content, with real payloads.
+
+    ``summary_policy`` selects which working-set summaries the peer
+    exchanges (a :class:`~repro.reconcile.SummaryPolicy`); ``None``
+    keeps the historical hardcoded pair — min-wise calling cards and
+    Bloom reconciliation summaries — bit-identically.  All peers in a
+    session must agree on the policy, exactly as they agree on
+    :class:`CodeParameters`.
+    """
 
     def __init__(
         self,
@@ -71,9 +79,11 @@ class ProtocolPeer:
         content: Optional[bytes] = None,
         initial_symbols: Iterable[EncodedSymbol] = (),
         rng: Optional[random.Random] = None,
+        summary_policy=None,
     ):
         self.peer_id = peer_id
         self.params = params
+        self.summary_policy = summary_policy
         self.rng = rng if rng is not None else default_rng("protocol.peer", peer_id)
         self.is_source = content is not None
         self._encoder: Optional[LTEncoder] = None
@@ -102,7 +112,15 @@ class ProtocolPeer:
     # -- calling cards ------------------------------------------------------
 
     def hello(self) -> HelloMessage:
-        """The 1KB calling card for this peer's working set."""
+        """The calling card for this peer's working set.
+
+        Legacy policy (``summary_policy=None``): the paper's 1KB
+        min-wise card.  Otherwise the policy's card sketch travels as
+        a generic summary payload.
+        """
+        if self.summary_policy is not None:
+            card = self.summary_policy.build_card(self.working_set)
+            return HelloMessage.carrying(card)
         family = self.params.sketch_family()
         sketch = MinwiseSketch.build(
             (i % family.universe_size for i in self.working_set), family
@@ -115,6 +133,17 @@ class ProtocolPeer:
         """``|ours ∩ theirs| / |ours|`` estimated from calling cards."""
         if len(self.working_set) == 0:
             return 0.0
+        if hello.carries_summary:
+            if self.summary_policy is None:
+                raise ValueError(
+                    "received a generic summary hello but this peer has no "
+                    "summary policy; peers must agree on the policy off-line"
+                )
+            from repro.reconcile import correlation_from_summaries
+
+            theirs = hello.summary()
+            ours = self.summary_policy.build_card(self.working_set)
+            return correlation_from_summaries(ours, theirs, len(self.working_set))
         family = self.params.sketch_family()
         ours = MinwiseSketch.build(
             (i % family.universe_size for i in self.working_set), family
@@ -125,7 +154,16 @@ class ProtocolPeer:
         return min(1.0, inter / len(self.working_set))
 
     def summary(self, bits_per_element: int = 8) -> SummaryMessage:
-        """Bloom summary of the working set, serialised for the wire."""
+        """Reconciliation summary of the working set, for the wire.
+
+        Legacy policy: an inline Bloom filter at ``bits_per_element``.
+        Otherwise the policy's summary kind travels as a generic
+        payload with its own honest wire size.
+        """
+        if self.summary_policy is not None:
+            return SummaryMessage.carrying(
+                self.summary_policy.build(self.working_set)
+            )
         bf = self.working_set.bloom_summary(bits_per_element=bits_per_element)
         return SummaryMessage(
             filter_bytes=bf.to_bytes(), m_bits=bf.m, k_hashes=bf.k, seed=bf.seed

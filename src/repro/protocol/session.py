@@ -98,10 +98,11 @@ class TransferSession:
         partitioned_rho: int = 0,
         rng: Optional[random.Random] = None,
         clock=None,
+        summary_policy=None,
     ):
         """Args:
             sender/receiver: the two peers (shared code parameters).
-            bloom_bits_per_element: summary budget.
+            bloom_bits_per_element: summary budget (legacy Bloom path).
             partitioned_rho: when > 0, use the Section 5.2 "scaling up"
                 pipeline — the receiver's summary is shipped one residue
                 partition at a time, and the sender's useful domain grows
@@ -113,15 +114,40 @@ class TransferSession:
                 when bound, the session stamps ``started_at`` and
                 ``finished_at`` on its stats so event-driven drivers can
                 report transfer durations.
+            summary_policy: a :class:`~repro.reconcile.SummaryPolicy`
+                selecting the summaries exchanged; defaults to the
+                peers' own policy, and to the historical hardcoded
+                min-wise/Bloom pair when nobody set one.  Mutually
+                exclusive with ``partitioned_rho`` (the pipelined path
+                is a Bloom-specific protocol).
         """
         if sender.params != receiver.params:
             raise ValueError("peers must share code parameters")
         if partitioned_rho < 0:
             raise ValueError("partition count must be non-negative")
+        if summary_policy is None:
+            if (
+                sender.summary_policy is not None
+                and receiver.summary_policy is not None
+                and sender.summary_policy != receiver.summary_policy
+            ):
+                raise ValueError(
+                    "sender and receiver carry different summary policies; "
+                    "peers must agree on the policy off-line (or pass an "
+                    "explicit summary_policy to the session)"
+                )
+            summary_policy = sender.summary_policy or receiver.summary_policy
+        if summary_policy is not None and partitioned_rho > 1:
+            raise ValueError(
+                "partitioned_rho cannot be combined with a summary policy: "
+                "the pipelined path streams every residue partition, while "
+                "the 'partitioned_bloom' summary kind ships exactly one"
+            )
         self.sender = sender
         self.receiver = receiver
         self.bloom_bits = bloom_bits_per_element
         self.partitioned_rho = partitioned_rho
+        self.summary_policy = summary_policy
         self.rng = rng if rng is not None else default_rng("protocol.session")
         self.clock = clock
         self.stats = SessionStats()
@@ -141,12 +167,8 @@ class TransferSession:
         """
         if self.clock is not None and self.stats.started_at is None:
             self.stats.started_at = self.clock.now
-        hello_r = self.receiver.hello()
-        hello_s = self.sender.hello()
-        self.stats.control_bytes += hello_r.wire_bytes() + hello_s.wire_bytes()
-
-        if not self.sender.is_source:
-            corr = self.sender.estimate_peer_correlation(hello_r)
+        corr = self._exchange_hellos()
+        if corr is not None:
             self.stats.estimated_correlation = corr
             if corr >= REJECT_CORRELATION and len(self.sender.working_set) <= len(
                 self.receiver.working_set
@@ -158,6 +180,39 @@ class TransferSession:
         self._send_request()
         return True
 
+    def _exchange_hellos(self):
+        """Exchange calling cards, charge their bytes, estimate correlation.
+
+        Returns the sender's ``|S ∩ R| / |S|`` estimate, or None when
+        the sender is a source (nothing to estimate against).  With a
+        session policy, both cards are built once under it — the
+        protocol-wide agreement governs even peers carrying no policy
+        of their own — and the very cards whose bytes were charged feed
+        the estimate.  Without one, the peers' legacy min-wise hellos
+        run unchanged.
+        """
+        if self.summary_policy is None:
+            hello_r = self.receiver.hello()
+            hello_s = self.sender.hello()
+            self.stats.control_bytes += hello_r.wire_bytes() + hello_s.wire_bytes()
+            if self.sender.is_source:
+                return None
+            return self.sender.estimate_peer_correlation(hello_r)
+        card_r = self.summary_policy.build_card(self.receiver.working_set)
+        card_s = self.summary_policy.build_card(self.sender.working_set)
+        # A generic hello charges its 8-byte header plus the carried
+        # card's own honest size (see HelloMessage.wire_bytes).
+        self.stats.control_bytes += (8 + card_r.wire_bytes()) + (
+            8 + card_s.wire_bytes()
+        )
+        if self.sender.is_source:
+            return None
+        from repro.reconcile import correlation_from_summaries
+
+        return correlation_from_summaries(
+            card_s, card_r, len(self.sender.working_set)
+        )
+
     def _receive_summary(self) -> None:
         """Receiver ships its summary; sender filters its domain.
 
@@ -165,6 +220,9 @@ class TransferSession:
         shipped here; further partitions arrive on demand via
         :meth:`request_next_partition` as the sender drains its domain.
         """
+        if self.summary_policy is not None:
+            self._receive_policy_summary()
+            return
         if self.partitioned_rho > 1:
             from repro.filters import PartitionedSummaryStream
 
@@ -184,6 +242,39 @@ class TransferSession:
             msg.filter_bytes, msg.m_bits, msg.k_hashes, msg.seed
         )
         self._domain = [i for i in self.sender.symbols if i not in bf]
+        self.stats.used_summary = True
+
+    def _receive_policy_summary(self) -> None:
+        """Policy path: ship the receiver's summary, filter the domain.
+
+        The summary is built under the *session's* policy (the
+        protocol-wide agreement), not the receiver object's own
+        attribute — a session-level policy therefore works over
+        policy-less peers, and a sender-only policy governs both ends.
+
+        Estimate-only policies (a min-wise reconciliation summary, say)
+        cannot filter a domain, so no summary travels — the handshake's
+        correlation estimate is all the information there is, exactly
+        the cheap end of the paper's cost/precision spectrum.  An exact
+        summary whose discrepancy bound proves too small (CPI) keeps
+        its bytes on the books but yields no domain.
+        """
+        assert self.summary_policy is not None
+        if not self.summary_policy.can_filter:
+            return
+        remote = self.summary_policy.build(self.receiver.working_set)
+        # A generic summary message's wire size is the summary's own
+        # (see SummaryMessage.wire_bytes).
+        self.stats.control_bytes += remote.wire_bytes()
+        from repro.exact.cpi import DiscrepancyExceeded
+
+        try:
+            self._domain = list(
+                self.summary_policy.useful_subset(remote, list(self.sender.symbols))
+            )
+        except DiscrepancyExceeded:
+            self._domain = None
+            return
         self.stats.used_summary = True
 
     def request_next_partition(self) -> bool:

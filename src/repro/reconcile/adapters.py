@@ -1,0 +1,1072 @@
+"""Registered :class:`~repro.reconcile.base.Summary` adapters.
+
+One adapter per structure in the library, spanning the paper's whole
+cost/precision spectrum:
+
+========================  ==========  ===========================================
+kind                      section     underlying structure
+========================  ==========  ===========================================
+``minwise``               §4          :class:`repro.sketches.MinwiseSketch`
+``modk``                  §4          :class:`repro.sketches.ModKSketch`
+``random_sample``         §4          :class:`repro.sketches.RandomSampleSketch`
+``bloom``                 §5.2        :class:`repro.filters.BloomFilter`
+``counting_bloom``        §5.2 [11]   :class:`repro.filters.CountingBloomFilter`
+``partitioned_bloom``     §5.2        :class:`repro.filters.PartitionedBloomFilter`
+``art``                   §5.3        :class:`repro.art.ApproximateReconciliationTree`
+``cpi``                   §5.1 [19]   :class:`repro.exact.CharacteristicPolynomialReconciler`
+``hashset``               §5.1        :class:`repro.exact.HashSetSummary`
+``wholeset``              §5.1        explicit key transfer
+========================  ==========  ===========================================
+
+Builds go through the vectorised kernels in :mod:`repro.hashing.batch`
+wherever one exists, so sweeping summary kinds over large working sets
+stays benchmarkable.  Wire sizes follow one convention: a 4-byte
+set-size header plus the structure's own bytes plus its parameter
+headers — matching the byte accounting the protocol messages report.
+"""
+
+import random
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.art import ApproximateReconciliationTree, ARTSummary, find_difference
+from repro.art.tree import ReconciliationTrie, value_hash
+from repro.exact.cpi import CharacteristicPolynomialReconciler, CPISketch
+from repro.exact.hashset import HashSetSummary
+from repro.filters.bloom import BloomFilter, optimal_hash_count
+from repro.filters.counting import CountingBloomFilter
+from repro.filters.partitioned import PartitionedBloomFilter
+from repro.hashing.batch import mix64_batch, permutation_minima
+from repro.hashing.mix import mix64
+from repro.hashing.permutations import PermutationFamily
+from repro.reconcile.base import (
+    Summary,
+    SummaryError,
+    clamped_symmetric_difference,
+    hex_bytes,
+    payload_int,
+    payload_int_list,
+    unhex_bytes,
+)
+from repro.reconcile.registry import register_summary
+
+#: Default key universe, matching :data:`repro.delivery.working_set.
+#: DEFAULT_KEY_UNIVERSE` (kept literal to avoid a delivery import here).
+DEFAULT_UNIVERSE = 1 << 32
+
+
+def _estimate_intersection_from_resemblance(r: float, n_a: int, n_b: int) -> float:
+    """``i = r (|A| + |B|) / (1 + r)`` (inclusion-exclusion, §4)."""
+    return r * (n_a + n_b) / (1.0 + r) if r > 0.0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Sketches (§4) — calling cards: estimate, never search
+# ---------------------------------------------------------------------------
+
+
+@register_summary
+class MinwiseSummary(Summary):
+    """Min-wise sketch: per-permutation minima (the paper's preferred card).
+
+    Params: ``entries`` (permutation count, 128 ≈ the 1KB card),
+    ``universe`` (key range), ``seed`` (the universally agreed family).
+    """
+
+    kind = "minwise"
+    supports_merge = True
+    supports_estimate = True
+
+    def __init__(
+        self,
+        minima: List[Optional[int]],
+        set_size: int,
+        entries: int,
+        universe: int,
+        seed: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.minima = list(minima)
+        self.set_size = set_size
+        self.entries = entries
+        self.universe = universe
+        self.seed = seed
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        entries: int = 128,
+        universe: int = DEFAULT_UNIVERSE,
+        seed: int = 0,
+    ) -> "MinwiseSummary":
+        pool = frozenset(ids)
+        family = PermutationFamily(entries, universe, seed=seed)
+        minima = permutation_minima(family, pool)
+        return cls(minima, len(pool), entries, universe, seed, local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 8 * len(self.minima)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "entries": self.entries,
+            "universe": self.universe,
+            "seed": self.seed,
+            "minima": list(self.minima),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "MinwiseSummary":
+        entries = payload_int(payload, "entries")
+        minima = payload.get("minima")
+        if not isinstance(minima, (list, tuple)) or len(minima) != entries:
+            raise SummaryError("minwise payload needs one minimum per entry")
+        for m in minima:
+            if m is not None and (isinstance(m, bool) or not isinstance(m, int)):
+                raise SummaryError(
+                    f"minwise minima must be integers or null, got {m!r}"
+                )
+        return cls(
+            list(minima),
+            payload_int(payload, "set_size"),
+            entries,
+            payload_int(payload, "universe", DEFAULT_UNIVERSE),
+            payload_int(payload, "seed", 0),
+        )
+
+    def compatible_build_params(self) -> Dict[str, Any]:
+        return {"entries": self.entries, "universe": self.universe, "seed": self.seed}
+
+    def _check_family(self, other: "MinwiseSummary") -> None:
+        self._check_kind(other)
+        if (self.entries, self.universe, self.seed) != (
+            other.entries,
+            other.universe,
+            other.seed,
+        ):
+            raise SummaryError(
+                "min-wise summaries are only comparable under the same "
+                "universally agreed permutation family"
+            )
+
+    def merge(self, other: "MinwiseSummary") -> "MinwiseSummary":
+        """Coordinate-wise minimum — the sketch of the union (§4)."""
+        self._check_family(other)
+        merged = [
+            b if a is None else (a if b is None else min(a, b))
+            for a, b in zip(self.minima, other.minima)
+        ]
+        ids, size = self._merged_local_ids(other)
+        return MinwiseSummary(
+            merged, size, self.entries, self.universe, self.seed, local_ids=ids
+        )
+
+    def estimate_resemblance(self, other: "MinwiseSummary") -> float:
+        """Fraction of matching positions — unbiased estimate of ``r``."""
+        self._check_family(other)
+        if self.set_size == 0 and other.set_size == 0:
+            return 0.0
+        matches = sum(
+            1
+            for a, b in zip(self.minima, other.minima)
+            if a is not None and a == b
+        )
+        return matches / len(self.minima)
+
+    def estimate_difference(self, other: "MinwiseSummary") -> float:
+        r = self.estimate_resemblance(other)
+        i = _estimate_intersection_from_resemblance(r, self.set_size, other.set_size)
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+@register_summary
+class ModKSummary(Summary):
+    """Mod-k sample: elements whose mixed key is ``0 (mod modulus)``.
+
+    Params: ``modulus`` (expected sample = n/modulus), ``seed``,
+    ``max_elements`` (bottom-k truncation, packet limits).
+    """
+
+    kind = "modk"
+    supports_merge = True
+    supports_estimate = True
+
+    def __init__(
+        self,
+        sample: Iterable[int],
+        set_size: int,
+        modulus: int,
+        seed: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.sample = frozenset(sample)
+        self.set_size = set_size
+        self.modulus = modulus
+        self.seed = seed
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        modulus: int = 16,
+        seed: int = 0,
+        max_elements: Optional[int] = None,
+    ) -> "ModKSummary":
+        if modulus <= 0:
+            raise SummaryError("modulus must be positive")
+        pool = frozenset(ids)
+        key_list = sorted(pool)
+        mixed = mix64_batch(key_list, seed)
+        sample = [x for x, h in zip(key_list, mixed) if h % modulus == 0]
+        if max_elements is not None:
+            if max_elements < 0:
+                raise SummaryError("max_elements must be non-negative")
+            # Bottom-k clip: both peers keep the smallest mixed keys, so
+            # truncated samples stay comparable (§4's packet-limit fix).
+            by_hash = sorted(sample, key=lambda x: mix64(x, seed))
+            sample = by_hash[:max_elements]
+        return cls(sample, len(pool), modulus, seed, local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 8 * len(self.sample)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "modulus": self.modulus,
+            "seed": self.seed,
+            "sample": sorted(self.sample),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ModKSummary":
+        return cls(
+            payload_int_list(payload, "sample"),
+            payload_int(payload, "set_size"),
+            payload_int(payload, "modulus"),
+            payload_int(payload, "seed", 0),
+        )
+
+    def compatible_build_params(self) -> Dict[str, Any]:
+        return {"modulus": self.modulus, "seed": self.seed}
+
+    def _check_comparable(self, other: "ModKSummary") -> None:
+        self._check_kind(other)
+        if (self.modulus, self.seed) != (other.modulus, other.seed):
+            raise SummaryError(
+                "mod-k summaries are only comparable with identical modulus and seed"
+            )
+
+    def merge(self, other: "ModKSummary") -> "ModKSummary":
+        """Sample union — the mod-k sample of the set union."""
+        self._check_comparable(other)
+        ids, size = self._merged_local_ids(other)
+        return ModKSummary(
+            self.sample | other.sample, size, self.modulus, self.seed, local_ids=ids
+        )
+
+    def estimate_difference(self, other: "ModKSummary") -> float:
+        self._check_comparable(other)
+        union = len(self.sample | other.sample)
+        r = len(self.sample & other.sample) / union if union else 0.0
+        i = _estimate_intersection_from_resemblance(r, self.set_size, other.set_size)
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+@register_summary
+class RandomSampleSummary(Summary):
+    """``k`` random keys with replacement (§4's first, simplest card).
+
+    Params: ``k`` (sample size), ``seed`` (deterministic draw).  Two
+    *remote* samples cannot be compared with each other (the paper's
+    noted drawback); estimation needs one locally built side.
+    """
+
+    kind = "random_sample"
+    supports_estimate = True
+
+    def __init__(
+        self,
+        sample: List[int],
+        set_size: int,
+        seed: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.sample = list(sample)
+        self.set_size = set_size
+        self.seed = seed
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls, ids: Iterable[int], k: int = 128, seed: int = 0,
+    ) -> "RandomSampleSummary":
+        if k < 0:
+            raise SummaryError("sample size must be non-negative")
+        pool = frozenset(ids)
+        ordered = sorted(pool)
+        rng = random.Random(seed)
+        sample = [rng.choice(ordered) for _ in range(k)] if ordered else []
+        return cls(sample, len(pool), seed, local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 8 * len(self.sample)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "seed": self.seed,
+            "sample": list(self.sample),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RandomSampleSummary":
+        return cls(
+            payload_int_list(payload, "sample"),
+            payload_int(payload, "set_size"),
+            payload_int(payload, "seed", 0),
+        )
+
+    def estimate_difference(self, other: "RandomSampleSummary") -> float:
+        """Look ``other``'s sampled keys up in our own (local) set."""
+        self._check_kind(other)
+        local = self._require_local("random-sample difference estimation")
+        if not other.sample:
+            # No observations: fall back to the size-imbalance floor.
+            return clamped_symmetric_difference(0.0, self.set_size, other.set_size)
+        hits = sum(1 for key in other.sample if key in local)
+        containment = hits / len(other.sample)  # |A ∩ B| / |B|, B = other
+        i = containment * other.set_size
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+# ---------------------------------------------------------------------------
+# Searchable summaries (§5.2-5.3) — membership and difference search
+# ---------------------------------------------------------------------------
+
+
+@register_summary
+class BloomSummary(Summary):
+    """Bloom filter of the working set (§5.2, the searchable default).
+
+    Params: ``bits_per_element``, ``k_hashes`` (None = optimal), ``seed``.
+    """
+
+    kind = "bloom"
+    supports_membership = True
+    supports_difference = True
+    supports_merge = True
+    supports_estimate = True
+
+    def __init__(
+        self,
+        bloom: BloomFilter,
+        set_size: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.bloom = bloom
+        self.set_size = set_size
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        bits_per_element: int = 8,
+        k_hashes: Optional[int] = None,
+        seed: int = 0,
+    ) -> "BloomSummary":
+        pool = frozenset(ids)
+        n = max(1, len(pool))
+        m = max(8, bits_per_element * n)
+        k = k_hashes if k_hashes is not None else optimal_hash_count(m, n)
+        bloom = BloomFilter(m, k, seed)
+        bloom.bulk_update(sorted(pool))
+        return cls(bloom, len(pool), local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 12 + self.bloom.size_bytes()
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "m_bits": self.bloom.m,
+            "k_hashes": self.bloom.k,
+            "seed": self.bloom.seed,
+            "count": self.bloom.count,
+            "bits": hex_bytes(self.bloom.to_bytes()),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BloomSummary":
+        try:
+            bloom = BloomFilter.from_bytes(
+                unhex_bytes(payload.get("bits"), "bits"),
+                payload_int(payload, "m_bits"),
+                payload_int(payload, "k_hashes"),
+                payload_int(payload, "seed", 0),
+            )
+        except ValueError as exc:
+            raise SummaryError(f"invalid bloom payload: {exc}") from exc
+        bloom.count = payload_int(payload, "count", 0)
+        return cls(bloom, payload_int(payload, "set_size"))
+
+    def may_contain(self, key: int) -> bool:
+        return key in self.bloom
+
+    def merge(self, other: "BloomSummary") -> "BloomSummary":
+        self._check_kind(other)
+        try:
+            union = self.bloom.union(other.bloom)
+        except ValueError as exc:
+            raise SummaryError(str(exc)) from exc
+        ids, size = self._merged_local_ids(other)
+        return BloomSummary(union, size, local_ids=ids)
+
+    def estimate_difference(self, other: "Summary") -> float:
+        """Stream our (local) ids through the other summary's membership."""
+        local = self._require_local("bloom difference estimation")
+        if not getattr(other, "supports_membership", False):
+            raise SummaryError(
+                f"cannot estimate against a {getattr(other, 'kind', '?')} summary"
+            )
+        ours_missing = sum(1 for key in local if not other.may_contain(key))
+        i = len(local) - ours_missing
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+@register_summary
+class CountingBloomSummary(BloomSummary):
+    """Counting Bloom filter (§5.2 background [11]): deletion-capable.
+
+    Params: ``buckets_per_element``, ``k_hashes``, ``seed``.  Merging
+    sums counters (saturating), so long-lived peers can fold summaries
+    without losing the ability to delete later.
+    """
+
+    kind = "counting_bloom"
+    supports_membership = True
+    supports_difference = True
+    supports_merge = True
+    supports_estimate = True
+
+    def __init__(
+        self,
+        cbf: CountingBloomFilter,
+        set_size: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.cbf = cbf
+        self.set_size = set_size
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        buckets_per_element: int = 8,
+        k_hashes: int = 5,
+        seed: int = 0,
+    ) -> "CountingBloomSummary":
+        pool = frozenset(ids)
+        cbf = CountingBloomFilter.for_elements(
+            sorted(pool),
+            buckets_per_element=buckets_per_element,
+            k_hashes=k_hashes,
+            seed=seed,
+        )
+        return cls(cbf, len(pool), local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 12 + self.cbf.size_bytes()
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "m_buckets": self.cbf.m,
+            "k_hashes": self.cbf.k,
+            "seed": self.cbf.seed,
+            "count": self.cbf.count,
+            "counters": hex_bytes(self.cbf.to_bytes()),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CountingBloomSummary":
+        try:
+            cbf = CountingBloomFilter.from_bytes(
+                unhex_bytes(payload.get("counters"), "counters"),
+                payload_int(payload, "m_buckets"),
+                payload_int(payload, "k_hashes"),
+                payload_int(payload, "seed", 0),
+                count=payload_int(payload, "count", 0),
+            )
+        except ValueError as exc:
+            raise SummaryError(f"invalid counting-bloom payload: {exc}") from exc
+        return cls(cbf, payload_int(payload, "set_size"))
+
+    def may_contain(self, key: int) -> bool:
+        return key in self.cbf
+
+    def merge(self, other: "CountingBloomSummary") -> "CountingBloomSummary":
+        self._check_kind(other)
+        try:
+            merged = self.cbf.merge(other.cbf)
+        except ValueError as exc:
+            raise SummaryError(str(exc)) from exc
+        ids, size = self._merged_local_ids(other)
+        return CountingBloomSummary(merged, size, local_ids=ids)
+
+
+@register_summary
+class PartitionedBloomSummary(Summary):
+    """One residue-class partition filter (§5.2's "scaling up" step).
+
+    Params: ``rho`` (partition count), ``beta`` (this filter's
+    residue), ``bits_per_element``, ``k_hashes``, ``seed``.  Covers
+    only keys ``≡ beta (mod rho)``: :meth:`may_contain` answers True
+    (unknown) for uncovered keys, and :meth:`missing_from` reports
+    definite differences within the covered class only — further
+    partitions pipeline over as separate summaries.
+    """
+
+    kind = "partitioned_bloom"
+    supports_membership = True
+    supports_difference = True
+    supports_estimate = True
+    partial_coverage = True
+
+    def __init__(
+        self,
+        pf: PartitionedBloomFilter,
+        set_size: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.pf = pf
+        self.set_size = set_size
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        rho: int = 4,
+        beta: int = 0,
+        bits_per_element: int = 8,
+        k_hashes: Optional[int] = None,
+        seed: int = 0,
+    ) -> "PartitionedBloomSummary":
+        pool = frozenset(ids)
+        try:
+            pf = PartitionedBloomFilter(
+                sorted(pool),
+                rho=rho,
+                beta=beta,
+                bits_per_element=bits_per_element,
+                k_hashes=k_hashes,
+                seed=seed,
+            )
+        except ValueError as exc:
+            raise SummaryError(str(exc)) from exc
+        return cls(pf, len(pool), local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 12 + 8 + self.pf.size_bytes()  # + (rho, beta) header
+
+    def to_payload(self) -> Dict[str, Any]:
+        inner = self.pf.bloom
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "rho": self.pf.rho,
+            "beta": self.pf.beta,
+            "seed": self.pf.seed,
+            "member_count": self.pf.member_count,
+            "m_bits": inner.m,
+            "k_hashes": inner.k,
+            "bits": hex_bytes(inner.to_bytes()),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PartitionedBloomSummary":
+        seed = payload_int(payload, "seed", 0)
+        try:
+            bloom = BloomFilter.from_bytes(
+                unhex_bytes(payload.get("bits"), "bits"),
+                payload_int(payload, "m_bits"),
+                payload_int(payload, "k_hashes"),
+                seed,
+            )
+            pf = PartitionedBloomFilter.from_filter(
+                bloom,
+                rho=payload_int(payload, "rho"),
+                beta=payload_int(payload, "beta"),
+                seed=seed,
+                member_count=payload_int(payload, "member_count", 0),
+            )
+        except ValueError as exc:
+            raise SummaryError(f"invalid partitioned-bloom payload: {exc}") from exc
+        return cls(pf, payload_int(payload, "set_size"))
+
+    def may_contain(self, key: int) -> bool:
+        # Uncovered keys are unknown — "may contain" is the sound answer.
+        if not self.pf.covers(key):
+            return True
+        return key in self.pf
+
+    def missing_from(self, candidates: Iterable[int]) -> List[int]:
+        """Definite differences within the covered residue class."""
+        return list(self.pf.missing_from(candidates))
+
+    def estimate_difference(self, other: "Summary") -> float:
+        """Extrapolate the covered class's difference to the whole set."""
+        local = self._require_local("partitioned-bloom difference estimation")
+        if not isinstance(other, PartitionedBloomSummary):
+            raise SummaryError(
+                f"cannot estimate against a {getattr(other, 'kind', '?')} summary"
+            )
+        covered = [key for key in local if other.pf.covers(key)]
+        if not covered:
+            return clamped_symmetric_difference(
+                float(min(self.set_size, other.set_size)),
+                self.set_size,
+                other.set_size,
+            )
+        missing = sum(1 for key in covered if key not in other.pf)
+        scale = len(local) / len(covered)
+        i = len(local) - missing * scale
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+@register_summary
+class ARTSummaryAdapter(Summary):
+    """Approximate reconciliation tree (§5.3): Bloom-folded hash trie.
+
+    Params: ``bits_per_element`` (total Bloom budget),
+    ``leaf_bits_per_element`` (split; None = even), ``seed`` (the
+    agreed hash functions), ``correction`` (search tolerance for
+    internal false positives).  :meth:`missing_from` runs the paper's
+    ``O(d log n)`` trie search; :meth:`may_contain` probes the leaf
+    filter with the key's value hash.
+    """
+
+    kind = "art"
+    supports_membership = True
+    supports_difference = True
+    supports_estimate = True
+
+    def __init__(
+        self,
+        summary: ARTSummary,
+        set_size: int,
+        correction: int = 1,
+        trie: Optional[ReconciliationTrie] = None,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.art_summary = summary
+        self.set_size = set_size
+        self.correction = correction
+        self._trie = trie
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        bits_per_element: int = 8,
+        leaf_bits_per_element: Optional[float] = None,
+        seed: int = 0,
+        correction: int = 1,
+    ) -> "ARTSummaryAdapter":
+        if correction < 0:
+            raise SummaryError("correction level must be non-negative")
+        pool = frozenset(ids)
+        try:
+            art = ApproximateReconciliationTree(
+                pool,
+                bits_per_element=bits_per_element,
+                leaf_bits_per_element=leaf_bits_per_element,
+                seed=seed,
+            )
+            summary = art.summary()
+        except ValueError as exc:
+            raise SummaryError(str(exc)) from exc
+        return cls(
+            summary, len(pool), correction=correction, trie=art.trie, local_ids=pool
+        )
+
+    def wire_bytes(self) -> int:
+        return 4 + 2 * 12 + self.art_summary.size_bytes()
+
+    def to_payload(self) -> Dict[str, Any]:
+        leaf, internal = self.art_summary.leaf_filter, self.art_summary.internal_filter
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "seed": self.art_summary.seed,
+            "bits_per_element": self.art_summary.bits_per_element,
+            "leaf_bits_per_element": self.art_summary.leaf_bits_per_element,
+            "correction": self.correction,
+            "leaf": {
+                "m_bits": leaf.m,
+                "k_hashes": leaf.k,
+                "seed": leaf.seed,
+                "bits": hex_bytes(leaf.to_bytes()),
+            },
+            "internal": {
+                "m_bits": internal.m,
+                "k_hashes": internal.k,
+                "seed": internal.seed,
+                "bits": hex_bytes(internal.to_bytes()),
+            },
+        }
+
+    @staticmethod
+    def _filter_from(payload: Any, field: str) -> BloomFilter:
+        if not isinstance(payload, dict):
+            raise SummaryError(f"art payload field {field!r} must be an object")
+        try:
+            return BloomFilter.from_bytes(
+                unhex_bytes(payload.get("bits"), f"{field}.bits"),
+                payload_int(payload, "m_bits"),
+                payload_int(payload, "k_hashes"),
+                payload_int(payload, "seed", 0),
+            )
+        except ValueError as exc:
+            raise SummaryError(f"invalid art payload: {exc}") from exc
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ARTSummaryAdapter":
+        bpe = payload.get("bits_per_element", 8)
+        leaf_bpe = payload.get("leaf_bits_per_element")
+        summary = ARTSummary.from_filters(
+            cls._filter_from(payload.get("leaf"), "leaf"),
+            cls._filter_from(payload.get("internal"), "internal"),
+            seed=payload_int(payload, "seed", 0),
+            bits_per_element=bpe,
+            leaf_bits_per_element=leaf_bpe,
+        )
+        return cls(
+            summary,
+            payload_int(payload, "set_size"),
+            correction=payload_int(payload, "correction", 1),
+        )
+
+    def compatible_build_params(self) -> Dict[str, Any]:
+        return {"seed": self.art_summary.seed, "correction": self.correction}
+
+    def may_contain(self, key: int) -> bool:
+        """Probe the leaf filter with the key's (seed-only) value hash."""
+        return self.art_summary.matches_leaf(
+            value_hash(key, self.art_summary.seed)
+        )
+
+    def missing_from(self, candidates: Iterable[int]) -> List[int]:
+        """The paper's search: walk the candidates' trie against us."""
+        trie = ReconciliationTrie(candidates, seed=self.art_summary.seed)
+        stats = find_difference(trie, self.art_summary, correction=self.correction)
+        return stats.differences
+
+    def estimate_difference(self, other: "Summary") -> float:
+        """Search our own (local) trie against the other summary."""
+        self._check_kind(other)
+        self._require_local("art difference estimation")
+        assert isinstance(other, ARTSummaryAdapter)
+        if self._trie is None or self._trie.seed != other.art_summary.seed:
+            raise SummaryError(
+                "art summaries are only comparable under the same agreed hash seed"
+            )
+        stats = find_difference(
+            self._trie, other.art_summary, correction=other.correction
+        )
+        i = self.set_size - len(stats.differences)
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+# ---------------------------------------------------------------------------
+# Exact baselines (§5.1)
+# ---------------------------------------------------------------------------
+
+
+@register_summary
+class CPISummary(Summary):
+    """Characteristic-polynomial evaluations (Minsky-Trachtenberg-Zippel).
+
+    Params: ``max_discrepancy`` (the bound ``d`` the sketch is sized
+    for), ``seed`` (the agreed evaluation points).  ``O(d)`` words on
+    the wire; :meth:`missing_from` recovers ``candidates - S`` exactly
+    — or raises :class:`~repro.exact.cpi.DiscrepancyExceeded` when the
+    bound was too small, exactly as the protocol in [19] retries.
+    """
+
+    kind = "cpi"
+    supports_difference = True
+    supports_estimate = True
+    exact = True
+
+    def __init__(
+        self,
+        sketch: CPISketch,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.sketch = sketch
+        self.set_size = sketch.set_size
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls,
+        ids: Iterable[int],
+        max_discrepancy: int = 64,
+        seed: int = 0,
+    ) -> "CPISummary":
+        pool = frozenset(ids)
+        try:
+            reconciler = CharacteristicPolynomialReconciler(max_discrepancy, seed)
+            sketch = reconciler.sketch(sorted(pool))
+        except ValueError as exc:
+            raise SummaryError(str(exc)) from exc
+        return cls(sketch, local_ids=pool)
+
+    def _reconciler(self) -> CharacteristicPolynomialReconciler:
+        return CharacteristicPolynomialReconciler(
+            self.sketch.max_discrepancy, self.sketch.seed
+        )
+
+    @staticmethod
+    def wire_bytes_for_bound(max_discrepancy: int) -> int:
+        """Wire size a sketch sized for ``max_discrepancy`` would have.
+
+        Computed through the real :meth:`CPISketch.size_bytes`, so
+        reported-but-not-run cells (the ``summary_tradeoff`` scenario's
+        "prohibitively large d" regime) can never drift from the cost
+        a run cell would report.
+        """
+        from repro.exact.cpi import VERIFY_POINTS
+
+        sketch = CPISketch(
+            evaluations=[0] * max_discrepancy,
+            verify_evaluations=[0] * VERIFY_POINTS,
+            set_size=0,
+            max_discrepancy=max_discrepancy,
+            seed=0,
+        )
+        return 4 + sketch.size_bytes()
+
+    def wire_bytes(self) -> int:
+        return 4 + self.sketch.size_bytes()
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "max_discrepancy": self.sketch.max_discrepancy,
+            "seed": self.sketch.seed,
+            "evaluations": list(self.sketch.evaluations),
+            "verify_evaluations": list(self.sketch.verify_evaluations),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CPISummary":
+        sketch = CPISketch(
+            evaluations=payload_int_list(payload, "evaluations"),
+            verify_evaluations=payload_int_list(payload, "verify_evaluations"),
+            set_size=payload_int(payload, "set_size"),
+            max_discrepancy=payload_int(payload, "max_discrepancy"),
+            seed=payload_int(payload, "seed", 0),
+        )
+        return cls(sketch)
+
+    def missing_from(self, candidates: Iterable[int]) -> List[int]:
+        """Recover ``candidates - S`` exactly (raises past the bound)."""
+        return sorted(self._reconciler().difference(self.sketch, candidates))
+
+    def estimate_difference(self, other: "Summary") -> float:
+        """Exact discrepancy, computed from our retained ids."""
+        self._check_kind(other)
+        local = self._require_local("cpi difference estimation")
+        assert isinstance(other, CPISummary)
+        ours_minus_theirs = other._reconciler().difference(other.sketch, local)
+        i = len(local) - len(ours_minus_theirs)
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+@register_summary
+class HashSetSummaryAdapter(Summary):
+    """Hashed-key set (§5.1): exact up to inverse-polynomial misses.
+
+    Params: ``hash_bits`` (0 = the paper's ``poly(|S|)`` auto-sizing),
+    ``seed``.  Two hash sets compare directly, so estimation works
+    wire-to-wire without local ids.
+    """
+
+    kind = "hashset"
+    supports_membership = True
+    supports_difference = True
+    supports_merge = True
+    supports_estimate = True
+
+    def __init__(
+        self,
+        summary: HashSetSummary,
+        set_size: int,
+        local_ids: Optional[frozenset] = None,
+    ):
+        self.hashset = summary
+        self.set_size = set_size
+        self._local_ids = local_ids
+
+    @classmethod
+    def build(
+        cls, ids: Iterable[int], hash_bits: int = 0, seed: int = 0,
+    ) -> "HashSetSummaryAdapter":
+        pool = frozenset(ids)
+        try:
+            if hash_bits:
+                summary = HashSetSummary(sorted(pool), hash_bits=hash_bits, seed=seed)
+            else:
+                summary = HashSetSummary.with_polynomial_range(sorted(pool), seed=seed)
+        except ValueError as exc:
+            raise SummaryError(str(exc)) from exc
+        return cls(summary, len(pool), local_ids=pool)
+
+    def wire_bytes(self) -> int:
+        return 4 + 2 + self.hashset.size_bytes()  # + hash-width header
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "hash_bits": self.hashset.hash_bits,
+            "seed": self.hashset.seed,
+            "hashes": sorted(self.hashset.hashes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "HashSetSummaryAdapter":
+        summary = HashSetSummary.from_hashes(
+            payload_int_list(payload, "hashes"),
+            hash_bits=payload_int(payload, "hash_bits"),
+            seed=payload_int(payload, "seed", 0),
+        )
+        return cls(summary, payload_int(payload, "set_size"))
+
+    def compatible_build_params(self) -> Dict[str, Any]:
+        return {"hash_bits": self.hashset.hash_bits, "seed": self.hashset.seed}
+
+    def _check_comparable(self, other: "HashSetSummaryAdapter") -> None:
+        self._check_kind(other)
+        if (self.hashset.hash_bits, self.hashset.seed) != (
+            other.hashset.hash_bits,
+            other.hashset.seed,
+        ):
+            raise SummaryError(
+                "hash-set summaries are only comparable with identical "
+                "hash width and seed"
+            )
+
+    def may_contain(self, key: int) -> bool:
+        return key in self.hashset
+
+    def merge(self, other: "HashSetSummaryAdapter") -> "HashSetSummaryAdapter":
+        self._check_comparable(other)
+        merged = HashSetSummary.from_hashes(
+            self.hashset.hashes | other.hashset.hashes,
+            hash_bits=self.hashset.hash_bits,
+            seed=self.hashset.seed,
+        )
+        ids, size = self._merged_local_ids(other, fallback=len(merged.hashes))
+        return HashSetSummaryAdapter(merged, size, local_ids=ids)
+
+    def estimate_difference(self, other: "HashSetSummaryAdapter") -> float:
+        """Hash sets compare directly — no local ids needed."""
+        self._check_comparable(other)
+        i = len(self.hashset.hashes & other.hashset.hashes)
+        return clamped_symmetric_difference(i, self.set_size, other.set_size)
+
+
+@register_summary
+class WholeSetSummary(Summary):
+    """Explicit key transfer — the trivial exact baseline (§5.1).
+
+    Params: ``key_bits`` (wire width per key).  The ids *are* the
+    payload, so every capability is supported and exact; the cost is
+    the ``O(|S| log u)`` wire size everything else exists to avoid.
+    """
+
+    kind = "wholeset"
+    supports_membership = True
+    supports_difference = True
+    supports_merge = True
+    supports_estimate = True
+    exact = True
+
+    def __init__(self, ids: Iterable[int], key_bits: int = 64):
+        if not 8 <= key_bits <= 64:
+            raise SummaryError("key width must be between 8 and 64 bits")
+        pool = frozenset(ids)
+        self.ids = pool
+        self.key_bits = key_bits
+        self.set_size = len(pool)
+        self._local_ids = pool
+
+    @classmethod
+    def build(
+        cls, ids: Iterable[int], key_bits: int = 64,
+    ) -> "WholeSetSummary":
+        return cls(ids, key_bits=key_bits)
+
+    def wire_bytes(self) -> int:
+        # Ceiling division: a 12-bit key width really costs 1.5 B/key.
+        return 4 + (self.key_bits * self.set_size + 7) // 8
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "set_size": self.set_size,
+            "key_bits": self.key_bits,
+            "ids": sorted(self.ids),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "WholeSetSummary":
+        return cls(
+            payload_int_list(payload, "ids"),
+            key_bits=payload_int(payload, "key_bits", 64),
+        )
+
+    def may_contain(self, key: int) -> bool:
+        return key in self.ids
+
+    def missing_from(self, candidates: Iterable[int]) -> List[int]:
+        return [key for key in candidates if key not in self.ids]
+
+    def merge(self, other: "WholeSetSummary") -> "WholeSetSummary":
+        self._check_kind(other)
+        return WholeSetSummary(self.ids | other.ids, key_bits=self.key_bits)
+
+    def estimate_difference(self, other: "WholeSetSummary") -> float:
+        self._check_kind(other)
+        return float(len(self.ids ^ other.ids))
+
+
+__all__ = [
+    "DEFAULT_UNIVERSE",
+    "MinwiseSummary",
+    "ModKSummary",
+    "RandomSampleSummary",
+    "BloomSummary",
+    "CountingBloomSummary",
+    "PartitionedBloomSummary",
+    "ARTSummaryAdapter",
+    "CPISummary",
+    "HashSetSummaryAdapter",
+    "WholeSetSummary",
+]

@@ -1,0 +1,90 @@
+"""String-keyed registry of :class:`~repro.reconcile.base.Summary` adapters.
+
+Mirrors the scenario registry in :mod:`repro.api.registry`: adapters
+register under a stable kind name with the :func:`register_summary`
+decorator; callers build summaries by name (``build_summary("bloom",
+ids, bits_per_element=8)``) or reconstruct them from wire payloads
+(:func:`summary_from_payload` dispatches on ``payload["kind"]``).
+"""
+
+from typing import Any, Dict, Iterable, List, Type
+
+from repro.reconcile.base import Summary, SummaryError
+
+_REGISTRY: Dict[str, Type[Summary]] = {}
+
+
+class UnknownSummaryError(KeyError):
+    """Lookup of a summary kind nothing registered."""
+
+    def __init__(self, kind: str, known: List[str]):
+        super().__init__(kind)
+        self.kind = kind
+        self.known = known
+
+    def __str__(self) -> str:
+        return (
+            f"unknown summary kind {self.kind!r}; registered kinds: "
+            f"{', '.join(self.known) or '(none)'}"
+        )
+
+
+def register_summary(cls: Type[Summary]) -> Type[Summary]:
+    """Class decorator registering an adapter under its ``kind``."""
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must set a non-empty 'kind'")
+    if cls.kind in _REGISTRY:
+        raise ValueError(f"summary kind {cls.kind!r} is already registered")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def summary_class(kind: str) -> Type[Summary]:
+    """The adapter class for ``kind`` (:class:`UnknownSummaryError` if absent)."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise UnknownSummaryError(kind, summary_kinds()) from None
+
+
+def summary_kinds() -> List[str]:
+    """Registered kind names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_summary(kind: str, ids: Iterable[int], **params: Any) -> Summary:
+    """Build a summary of ``ids`` by kind name.
+
+    Adapter-specific ``params`` pass through to the adapter's
+    ``build``; unknown parameters fold into :class:`SummaryError` so
+    spec-driven callers fail with one exception type.
+    """
+    cls = summary_class(kind)
+    try:
+        return cls.build(ids, **params)
+    except SummaryError:
+        raise
+    except (TypeError, ValueError) as exc:
+        # Unknown parameter names (TypeError) and out-of-range values the
+        # underlying structure rejects (ValueError) surface as one type.
+        raise SummaryError(f"invalid parameters for {kind!r} summary: {exc}") from exc
+
+
+def summary_from_payload(payload: Dict[str, Any]) -> Summary:
+    """Reconstruct any registered summary from its wire payload."""
+    if not isinstance(payload, dict):
+        raise SummaryError("summary payload must be a JSON object")
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise SummaryError("summary payload is missing its 'kind' tag")
+    return summary_class(kind).from_payload(payload)
+
+
+__all__ = [
+    "UnknownSummaryError",
+    "register_summary",
+    "summary_class",
+    "summary_kinds",
+    "build_summary",
+    "summary_from_payload",
+]

@@ -112,11 +112,11 @@ def asymmetric_bandwidth_swarm(
     seed: int = 31,
     strategy_name: str = "Recode/BF",
 ) -> SimScenario:
-    """Deprecated shim for :func:`repro.api.builders.asymmetric_bandwidth_swarm`."""
+    """Deprecated shim for :func:`repro.api.builders.asymmetric_bandwidth`."""
     _deprecated_shim("asymmetric_bandwidth_swarm")
     from repro.api import build, specs
 
-    spec = specs.asymmetric_bandwidth_swarm(
+    spec = specs.asymmetric_bandwidth(
         num_fast=num_fast,
         num_slow=num_slow,
         target=target,

@@ -133,3 +133,45 @@ class TestFactory:
             "Recode/MW", sender, receiver, rng, correlation_estimate=0.42
         )
         assert s.estimated_correlation == 0.42
+
+
+class TestPolicyFactory:
+    """make_strategy(summary_policy=...) — the generic reconciliation path."""
+
+    def test_mw_with_undersized_cpi_bound_degrades(self):
+        from repro.reconcile import SummaryPolicy
+
+        sender, receiver, rng = sets_with_overlap()
+        policy = SummaryPolicy(kind="cpi", params={"max_discrepancy": 2})
+        s = make_strategy("Recode/MW", sender, receiver, rng, summary_policy=policy)
+        # Bound exceeded reads as low overlap, never as a crash.
+        assert s.estimated_correlation == 0.0
+        s.next_packet()
+
+    def test_bf_names_with_every_capability_class(self):
+        from repro.reconcile import SummaryPolicy
+
+        sender, receiver, rng = sets_with_overlap()
+        for kind, expect in [
+            ("bloom", "Recode/bloom"),        # searchable
+            ("minwise", "Recode/minwise-est"),  # estimate-only
+            ("cpi", "Recode/cpi-blind"),      # bound (2) exceeded -> blind
+        ]:
+            policy = SummaryPolicy(kind=kind, params={"max_discrepancy": 2} if kind == "cpi" else {})
+            s = make_strategy("Recode/BF", sender, receiver, rng, summary_policy=policy)
+            assert s.name == expect
+            s.next_packet()
+
+    def test_prebuilt_receiver_summary_is_reused(self):
+        from repro.reconcile import SummaryPolicy
+
+        sender, receiver, rng = sets_with_overlap()
+        policy = SummaryPolicy(kind="bloom")
+        remote = policy.build(receiver)
+        s1 = make_strategy(
+            "Recode/BF", sender, receiver, rng, summary_policy=policy,
+            receiver_summary=remote,
+        )
+        s2 = make_strategy("Recode/BF", sender, receiver, rng, summary_policy=policy)
+        # Same domain either way — the prebuilt summary is identical.
+        assert sorted(s1._domain) == sorted(s2._domain)

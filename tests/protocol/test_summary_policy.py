@@ -1,0 +1,249 @@
+"""Summary policies through the protocol stack, and legacy parity pins.
+
+Two halves:
+
+* **Parity** — with no policy (the default), the refactored
+  :class:`~repro.protocol.peer.ProtocolPeer`, :class:`~repro.protocol.
+  session.TransferSession`, and :func:`~repro.delivery.strategies.
+  make_strategy` must reproduce the pre-refactor seeded behaviour
+  bit-for-bit.  The literals below were recorded against the hardcoded
+  min-wise/Bloom implementation and must never drift.
+* **Policies** — every reconciliation-capable summary kind drives a
+  full byte-accounted session to completion, and generic hello/summary
+  messages report the carried summary's honest wire size.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.delivery import make_strategy
+from repro.delivery.scenarios import make_pair_scenario
+from repro.protocol import CodeParameters, ProtocolPeer, TransferSession
+from repro.protocol.messages import HelloMessage, SummaryMessage
+from repro.reconcile import SummaryPolicy, build_summary
+
+
+def make_params(num_blocks=200, block_size=24, seed=11):
+    return CodeParameters(
+        num_blocks=num_blocks, block_size=block_size, stream_seed=seed
+    )
+
+
+def make_content(params, seed=3):
+    rng = random.Random(seed)
+    return bytes(
+        rng.randrange(256) for _ in range(params.num_blocks * params.block_size)
+    )
+
+
+def seeded_pair(params, content, policy=None):
+    enc = params.encoder_for(content)
+    a = ProtocolPeer(
+        "a",
+        params,
+        initial_symbols=enc.symbols(range(0, 160)),
+        rng=random.Random(21),
+        summary_policy=policy,
+    )
+    b = ProtocolPeer(
+        "b",
+        params,
+        initial_symbols=enc.symbols(range(100, 260)),
+        rng=random.Random(22),
+        summary_policy=policy,
+    )
+    return a, b
+
+
+class TestLegacyParity:
+    """Pins recorded against the pre-reconcile hardcoded implementation."""
+
+    def test_default_session_bytes_unchanged(self):
+        params = make_params()
+        a, b = seeded_pair(params, make_content(params))
+        stats = TransferSession(a, b, rng=random.Random(23)).run(max_packets=5000)
+        assert stats.completed
+        assert stats.control_bytes == 2240
+        assert stats.data_packets == 82
+        assert stats.useful_packets == 3
+        assert round(stats.estimated_correlation, 6) == 0.315789
+
+    # SHA-256 prefixes of the first 300 packet identities each legacy
+    # strategy emits from rng seed 5 on the seed-17 pair layout.
+    STRATEGY_PINS = {
+        "Random": "e1a7618b5d308660",
+        "Random/BF": "fa4203c7b20fb4dd",
+        "Recode": "919362c06b34c611",
+        "Recode/BF": "3b3550ef84f24731",
+        "Recode/MW": "9374ea6928e72c41",
+    }
+
+    @pytest.mark.parametrize("name", sorted(STRATEGY_PINS))
+    def test_default_strategy_packet_stream_unchanged(self, name):
+        layout = make_pair_scenario(400, 1.1, 0.3, random.Random(17))
+        strategy = make_strategy(
+            name, layout.sender, layout.receiver, random.Random(5),
+            symbols_desired=100,
+        )
+        digest = hashlib.sha256()
+        for _ in range(300):
+            pkt = strategy.next_packet()
+            digest.update(
+                repr((pkt.encoded_id, tuple(sorted(pkt.recoded_ids or ())))).encode()
+            )
+        assert digest.hexdigest()[:16] == self.STRATEGY_PINS[name]
+
+    def test_legacy_hello_shape_preserved(self):
+        params = make_params()
+        a, _ = seeded_pair(params, make_content(params))
+        hello = a.hello()
+        assert not hello.carries_summary
+        assert hello.wire_bytes() == 8 + 8 * 128
+        summary = a.summary()
+        assert not summary.carries_summary
+        assert summary.wire_bytes() == 12 + len(summary.filter_bytes)
+
+
+class TestSummaryBearingMessages:
+    def test_hello_carries_any_summary_with_honest_bytes(self):
+        s = build_summary("modk", range(100), modulus=8)
+        hello = HelloMessage.carrying(s)
+        assert hello.carries_summary
+        assert hello.set_size == 100
+        assert hello.wire_bytes() == 8 + s.wire_bytes()
+        recovered = hello.summary()
+        assert recovered.kind == "modk"
+        assert recovered.sample == s.sample
+
+    def test_summary_message_carries_any_summary(self):
+        s = build_summary("art", range(128), bits_per_element=8)
+        msg = SummaryMessage.carrying(s)
+        assert msg.carries_summary
+        assert msg.wire_bytes() == s.wire_bytes()
+        found = set(msg.summary().missing_from(range(120, 140)))
+        # Approximate: never a false difference, and most real ones found.
+        assert found <= set(range(128, 140))
+        assert len(found) >= 6
+
+    def test_messages_stay_frozen_and_hashable(self):
+        s = build_summary("wholeset", range(5))
+        assert hash(HelloMessage.carrying(s)) == hash(HelloMessage.carrying(s))
+
+    def test_plain_message_refuses_summary_access(self):
+        with pytest.raises(ValueError, match="no generic summary"):
+            HelloMessage(set_size=1, minima=(None,)).summary()
+
+
+POLICIES = {
+    "bloom": SummaryPolicy(kind="bloom", params={"bits_per_element": 8}),
+    "counting_bloom": SummaryPolicy(kind="counting_bloom"),
+    "art": SummaryPolicy(kind="art", params={"bits_per_element": 8, "correction": 2}),
+    "cpi": SummaryPolicy(kind="cpi", params={"max_discrepancy": 250}),
+    "hashset": SummaryPolicy(kind="hashset"),
+    "wholeset": SummaryPolicy(kind="wholeset"),
+    "minwise": SummaryPolicy(kind="minwise", params={"entries": 128}),
+}
+
+
+class TestPolicySessions:
+    @pytest.mark.parametrize("kind", sorted(POLICIES))
+    def test_session_completes_under_policy(self, kind):
+        policy = POLICIES[kind]
+        params = make_params()
+        content = make_content(params)
+        a, b = seeded_pair(params, content, policy=policy)
+        session = TransferSession(a, b, rng=random.Random(23))
+        assert session.summary_policy is policy
+        stats = session.run(max_packets=6000)
+        assert stats.completed
+        assert b.decoded_content(len(content)) == content
+        assert stats.control_bytes > 0
+        # Searchable kinds ship a summary; estimate-only kinds cannot.
+        assert stats.used_summary == policy.can_filter
+
+    def test_policy_estimates_correlation(self):
+        params = make_params()
+        a, b = seeded_pair(params, make_content(params), policy=POLICIES["bloom"])
+        est = b.estimate_peer_correlation(a.hello())
+        # True overlap: 60 of a's 160 symbols are shared.
+        assert abs(est - 60 / 160) < 0.12
+
+    def test_cpi_bound_too_small_degrades_gracefully(self):
+        policy = SummaryPolicy(kind="cpi", params={"max_discrepancy": 16})
+        params = make_params()
+        content = make_content(params)
+        a, b = seeded_pair(params, content, policy=policy)
+        stats = TransferSession(a, b, rng=random.Random(23)).run(max_packets=6000)
+        # Bytes were spent, the bound failed, recoding proceeded blind.
+        assert not stats.used_summary
+        assert stats.completed
+
+    def test_policy_mismatched_with_partitioned_rho_rejected(self):
+        params = make_params()
+        a, b = seeded_pair(params, make_content(params), policy=POLICIES["bloom"])
+        with pytest.raises(ValueError, match="partitioned_rho"):
+            TransferSession(a, b, partitioned_rho=4)
+
+    def test_session_level_policy_over_policy_less_peers(self):
+        """The session's policy is the agreement — peers need not carry it."""
+        params = make_params()
+        content = make_content(params)
+        a, b = seeded_pair(params, content)  # neither peer has a policy
+        session = TransferSession(
+            a, b, rng=random.Random(23), summary_policy=POLICIES["bloom"]
+        )
+        stats = session.run(max_packets=6000)
+        assert stats.completed
+        assert stats.used_summary
+
+    def test_policy_handshake_charges_the_cards_it_estimates_from(self):
+        """Control bytes reflect the session policy's messages, whatever
+        policies the peer objects carry — same agreement, same bytes."""
+        from repro.protocol.messages import HelloMessage
+
+        params = make_params()
+        content = make_content(params)
+        policy = POLICIES["minwise"]  # estimate-only: hellos are the
+        # entire control exchange besides the 4-byte request
+
+        def control_bytes(peer_policy):
+            a, b = seeded_pair(params, content, policy=peer_policy)
+            session = TransferSession(
+                a, b, rng=random.Random(23), summary_policy=policy
+            )
+            assert session.handshake()
+            return session.stats.control_bytes
+
+        with_peer_policy = control_bytes(policy)
+        without_peer_policy = control_bytes(None)
+        assert with_peer_policy == without_peer_policy
+        card = policy.build_card(range(10))
+        expected = 2 * HelloMessage.carrying(card).wire_bytes() + 4
+        assert with_peer_policy == expected
+
+    def test_sender_only_policy_governs_the_session(self):
+        params = make_params()
+        content = make_content(params)
+        a, _ = seeded_pair(params, content, policy=POLICIES["art"])
+        _, b = seeded_pair(params, content)
+        stats = TransferSession(a, b, rng=random.Random(23)).run(max_packets=6000)
+        assert stats.completed
+        assert stats.used_summary
+
+    def test_mismatched_peer_policies_rejected(self):
+        params = make_params()
+        content = make_content(params)
+        a, _ = seeded_pair(params, content, policy=POLICIES["bloom"])
+        _, b = seeded_pair(params, content, policy=POLICIES["cpi"])
+        with pytest.raises(ValueError, match="different summary policies"):
+            TransferSession(a, b)
+
+    def test_peer_without_policy_rejects_generic_hello(self):
+        params = make_params()
+        content = make_content(params)
+        a, _ = seeded_pair(params, content, policy=POLICIES["bloom"])
+        _, b = seeded_pair(params, content)
+        with pytest.raises(ValueError, match="policy"):
+            b.estimate_peer_correlation(a.hello())

@@ -1,0 +1,300 @@
+"""Conformance suite: every registered Summary adapter, one contract.
+
+Parametrized over the registry, so a newly registered kind is tested
+automatically: payload round-trips (through real JSON), honest wire
+sizes, merge semantics, capability flags that do what they claim — and
+raise :class:`SummaryError` when they claim nothing.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.reconcile import (
+    Summary,
+    SummaryError,
+    build_summary,
+    summary_class,
+    summary_from_payload,
+    summary_kinds,
+)
+
+#: Build parameters keeping every kind fast and exact kinds feasible on
+#: the conformance sets (|A Δ B| stays well under the CPI bound).
+PARAMS = {
+    "cpi": {"max_discrepancy": 96},
+    "minwise": {"entries": 64},
+}
+
+
+def params_for(kind):
+    return PARAMS.get(kind, {})
+
+
+@pytest.fixture(scope="module")
+def sets():
+    """Equal-size sets (merge-compatible geometry for every kind) with a
+    symmetric difference of 60 — comfortably inside the CPI bound."""
+    rng = random.Random(42)
+    a = set(rng.sample(range(1500), 260))
+    b = set(a)
+    b.difference_update(rng.sample(sorted(a), 30))
+    b.update(rng.sample(sorted(set(range(1500)) - a), 30))
+    return a, b
+
+
+ALL_KINDS = summary_kinds()
+
+
+class TestRegistry:
+    def test_expected_kinds_registered(self):
+        assert set(ALL_KINDS) >= {
+            "minwise",
+            "modk",
+            "random_sample",
+            "bloom",
+            "counting_bloom",
+            "partitioned_bloom",
+            "art",
+            "cpi",
+            "hashset",
+            "wholeset",
+        }
+
+    def test_unknown_kind_lists_known(self):
+        with pytest.raises(KeyError, match="registered kinds"):
+            summary_class("nope")
+
+    def test_payload_without_kind_rejected(self):
+        with pytest.raises(SummaryError, match="kind"):
+            summary_from_payload({"set_size": 3})
+
+    def test_bad_params_fold_into_summary_error(self):
+        with pytest.raises(SummaryError, match="invalid parameters"):
+            build_summary("bloom", [1, 2], no_such_parameter_anywhere=3)
+
+    def test_out_of_range_params_fold_into_summary_error(self):
+        """Values the underlying structures reject surface as one type."""
+        for kind, params in [
+            ("minwise", {"entries": 0}),
+            ("bloom", {"k_hashes": 0}),
+            ("counting_bloom", {"k_hashes": 0}),
+            ("cpi", {"max_discrepancy": 0}),
+        ]:
+            with pytest.raises(SummaryError):
+                build_summary(kind, [1, 2], **params)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestConformance:
+    def test_build_reports_set_size(self, kind, sets):
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        assert s.kind == kind
+        assert s.set_size == len(a)
+        assert s.is_local
+
+    def test_payload_round_trip_through_json(self, kind, sets):
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        payload = json.loads(json.dumps(s.to_payload()))
+        assert payload["kind"] == kind
+        r = summary_from_payload(payload)
+        assert type(r) is type(s)
+        assert r.set_size == s.set_size
+        # Round-tripping again is stable.
+        assert r.to_payload() == s.to_payload()
+
+    def test_wire_bytes_honest_and_stable(self, kind, sets):
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        wire = s.wire_bytes()
+        assert wire > 0
+        r = summary_from_payload(json.loads(json.dumps(s.to_payload())))
+        assert r.wire_bytes() == wire
+
+    def test_capability_flags_honest(self, kind, sets):
+        """A False flag raises SummaryError; a True flag answers."""
+        a, b = sets
+        cls = summary_class(kind)
+        s = build_summary(kind, a, **params_for(kind))
+        other = build_summary(kind, b, **params_for(kind))
+        if cls.supports_membership:
+            assert isinstance(s.may_contain(next(iter(a))), bool)
+        else:
+            with pytest.raises(SummaryError):
+                s.may_contain(1)
+        if cls.supports_difference:
+            assert isinstance(s.missing_from(sorted(b)), list)
+        else:
+            with pytest.raises(SummaryError):
+                s.missing_from(sorted(b))
+        if cls.supports_merge:
+            assert isinstance(s.merge(other), Summary)
+        else:
+            with pytest.raises(SummaryError):
+                s.merge(other)
+        if cls.supports_estimate:
+            assert s.estimate_difference(other) >= 0.0
+        else:
+            with pytest.raises(SummaryError):
+                s.estimate_difference(other)
+
+    def test_membership_has_no_false_negatives(self, kind, sets):
+        a, _ = sets
+        cls = summary_class(kind)
+        if not cls.supports_membership:
+            pytest.skip(f"{kind} has no membership surface")
+        s = build_summary(kind, a, **params_for(kind))
+        assert all(s.may_contain(x) for x in a)
+        assert all(x in s for x in a)  # __contains__ delegates
+
+    def test_missing_from_is_sound(self, kind, sets):
+        """Everything reported missing is genuinely missing (never a
+        false 'useful' symbol — the property recoded transfers rely on)."""
+        a, b = sets
+        cls = summary_class(kind)
+        if not cls.supports_difference:
+            pytest.skip(f"{kind} has no difference surface")
+        s = build_summary(kind, a, **params_for(kind))
+        wire = summary_from_payload(json.loads(json.dumps(s.to_payload())))
+        missing = wire.missing_from(sorted(b))
+        assert set(missing) <= b - a
+        if cls.exact:
+            assert set(missing) == b - a
+
+    def test_estimate_tracks_truth(self, kind, sets):
+        a, b = sets
+        cls = summary_class(kind)
+        if not cls.supports_estimate:
+            pytest.skip(f"{kind} has no estimator")
+        sa = build_summary(kind, a, **params_for(kind))
+        sb = build_summary(kind, b, **params_for(kind))
+        true_d = len(a ^ b)
+        est = sb.estimate_difference(sa)
+        if cls.exact:
+            assert est == true_d
+        else:
+            # Calling-card precision: right order of magnitude is the
+            # contract (64 entries / small samples on ~260-element sets).
+            assert abs(est - true_d) <= max(12, 1.2 * true_d)
+        # Feasibility clamps always hold.
+        assert abs(sa.set_size - sb.set_size) <= est <= sa.set_size + sb.set_size
+
+    def test_merge_covers_the_union(self, kind, sets):
+        a, b = sets
+        cls = summary_class(kind)
+        if not cls.supports_merge:
+            pytest.skip(f"{kind} does not merge")
+        sa = build_summary(kind, a, **params_for(kind))
+        sb = build_summary(kind, b, **params_for(kind))
+        merged = sa.merge(sb)
+        built = build_summary(kind, a | b, **params_for(kind))
+        if cls.supports_membership:
+            # No union element may test negative in the merged summary.
+            assert all(merged.may_contain(x) for x in a | b)
+        if kind == "minwise":
+            assert merged.minima == built.minima
+        if kind == "modk":
+            assert merged.sample == built.sample
+        if kind == "wholeset":
+            assert merged.ids == a | b
+
+    def test_empty_set_builds_and_round_trips(self, kind):
+        s = build_summary(kind, [], **params_for(kind))
+        assert s.set_size == 0
+        r = summary_from_payload(json.loads(json.dumps(s.to_payload())))
+        assert r.set_size == 0
+        assert r.wire_bytes() == s.wire_bytes()
+
+
+class TestKindSpecifics:
+    def test_bloom_build_matches_scalar_filter(self, sets):
+        """The vectorised build produces the classic filter bit-for-bit."""
+        from repro.filters import BloomFilter
+
+        a, _ = sets
+        s = build_summary("bloom", a, bits_per_element=8)
+        legacy = BloomFilter.for_elements(sorted(a), bits_per_element=8)
+        assert s.bloom.to_bytes() == legacy.to_bytes()
+        assert (s.bloom.m, s.bloom.k, s.bloom.count) == (
+            legacy.m,
+            legacy.k,
+            legacy.count,
+        )
+
+    def test_minwise_build_matches_sketch(self, sets):
+        from repro.hashing.permutations import PermutationFamily
+        from repro.sketches import MinwiseSketch
+
+        a, _ = sets
+        s = build_summary("minwise", a, entries=64, seed=5)
+        sketch = MinwiseSketch.build(a, PermutationFamily(64, 1 << 32, seed=5))
+        assert s.minima == sketch.minima
+
+    def test_cpi_raises_past_its_bound(self, sets):
+        from repro.exact.cpi import DiscrepancyExceeded
+
+        a, b = sets
+        s = build_summary("cpi", a, max_discrepancy=4)
+        with pytest.raises(DiscrepancyExceeded):
+            s.missing_from(sorted(b))
+
+    def test_partitioned_bloom_uncovered_keys_unknown(self, sets):
+        a, _ = sets
+        s = build_summary("partitioned_bloom", a, rho=4, beta=1)
+        uncovered = [x for x in range(200) if not s.pf.covers(x)]
+        assert uncovered
+        # Unknown keys must answer "may contain" — never a false missing.
+        assert all(s.may_contain(x) for x in uncovered)
+
+    def test_art_search_beats_per_key_probing_budget(self, sets):
+        """The trie search visits O(d log n) nodes, not O(n) probes."""
+        from repro.art.tree import ReconciliationTrie
+        from repro.art.search import find_difference
+
+        a, b = sets
+        s = build_summary("art", a, bits_per_element=8, correction=1)
+        trie = ReconciliationTrie(sorted(b), seed=0)
+        stats = find_difference(trie, s.art_summary, correction=1)
+        assert stats.nodes_visited < 2 * len(b)
+
+    def test_incompatible_merge_rejected(self):
+        s1 = build_summary("minwise", range(10), entries=16, seed=1)
+        s2 = build_summary("minwise", range(10), entries=16, seed=2)
+        with pytest.raises(SummaryError, match="family"):
+            s1.merge(s2)
+
+    def test_wire_reconstructed_estimators_that_need_ids_refuse(self, sets):
+        a, b = sets
+        s = build_summary("bloom", a)
+        wire = summary_from_payload(json.loads(json.dumps(s.to_payload())))
+        assert not wire.is_local
+        other = build_summary("bloom", b)
+        with pytest.raises(SummaryError, match="reconstructed"):
+            wire.estimate_difference(other)
+
+    def test_minwise_payload_rejects_non_integer_minima(self):
+        s = build_summary("minwise", range(10), entries=2)
+        payload = s.to_payload()
+        payload["minima"] = ["a", "b"]
+        with pytest.raises(SummaryError, match="integers or null"):
+            summary_from_payload(payload)
+
+    def test_cpi_wire_bytes_for_bound_matches_real_sketch(self):
+        from repro.reconcile.adapters import CPISummary
+
+        s = build_summary("cpi", range(50), max_discrepancy=24)
+        assert CPISummary.wire_bytes_for_bound(24) == s.wire_bytes()
+
+    def test_working_set_summary_surface(self, sets):
+        """WorkingSet.summary(kind) is the same registry, one call away."""
+        from repro.delivery import WorkingSet
+
+        a, _ = sets
+        ws = WorkingSet(a)
+        for kind in ("minwise", "bloom", "art"):
+            s = ws.summary(kind, **params_for(kind))
+            assert s.kind == kind
+            assert s.set_size == len(a)
