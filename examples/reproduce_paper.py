@@ -10,6 +10,7 @@ Run:  python examples/reproduce_paper.py [--fast|--full]
 
 import argparse
 import math
+import os
 import sys
 import time
 
@@ -79,6 +80,7 @@ def show_fig4(scale):
 
 def show_delivery(scale):
     target, trials = scale["target"], scale["trials"]
+    workers = scale["workers"]
 
     def print_points(points, title, paper_note):
         for scenario in ("compact", "stretched"):
@@ -95,16 +97,16 @@ def show_delivery(scale):
                 )
                 print(f"{name:9s} {vals}")
 
-    print_points(run_fig5(target=target, trials=trials),
+    print_points(run_fig5(target=target, trials=trials, workers=workers),
                  "Figure 5: p2p transfer overhead",
                  "1.0 = every packet useful")
-    print_points(run_fig6(target=target, trials=trials),
+    print_points(run_fig6(target=target, trials=trials, workers=workers),
                  "Figure 6: speedup, full + partial sender",
                  "2.0 = perfect second sender")
-    print_points(run_fig78(2, target=target, trials=trials),
+    print_points(run_fig78(2, target=target, trials=trials, workers=workers),
                  "Figure 7: relative rate, 2 partial senders",
                  "vs one full sender")
-    print_points(run_fig78(4, target=target, trials=trials),
+    print_points(run_fig78(4, target=target, trials=trials, workers=workers),
                  "Figure 8: relative rate, 4 partial senders",
                  "vs one full sender")
 
@@ -126,6 +128,11 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="smoke-test sizes")
     parser.add_argument("--full", action="store_true", help="publication sizes")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="campaign worker processes for the figure sweeps "
+             "(default: the machine's core count)",
+    )
     args = parser.parse_args(argv)
     if args.full:
         scale = dict(art_n=10_000, art_d=100, target=2_000, trials=5,
@@ -136,6 +143,7 @@ def main(argv=None):
     else:
         scale = dict(art_n=5_000, art_d=100, target=1_000, trials=3,
                      code_blocks=4_000)
+    scale["workers"] = args.workers or (os.cpu_count() or 1)
     start = time.time()
     show_fig4(scale)
     show_delivery(scale)

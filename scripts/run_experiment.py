@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Run a declarative experiment spec: ``scripts/run_experiment.py --spec f.json``.
 
-A thin launcher around ``python -m repro.api`` that works from a source
-checkout without installing the package (it puts ``src/`` on the path).
-See ``--help`` for the full CLI.
+Also runs campaign sweeps: ``scripts/run_experiment.py --campaign
+sweep.json --workers 4 --out dir``.  A thin launcher around ``python
+-m repro.api`` that works from a source checkout without installing
+the package (it puts ``src/`` on the path).  See ``--help`` for the
+full CLI.
 """
 
 import os

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate benchmark dumps: ``scripts/validate_bench.py <dir>``.
+
+The CI bench-baseline job's schema gate: every ``BENCH_*.json`` the
+benchmark suite emitted (``REPRO_BENCH_JSON=<dir>``) must be an array
+whose entries validate against their declared schema —
+``repro.run_result/1`` (:func:`repro.api.result.validate_result_dict`),
+``repro.campaign_result/1``
+(:func:`repro.campaign.validate_campaign_dict`), or the loose
+``repro.bench_meta/1`` timing entries.  Validation is closed-world, so
+renaming or adding a result key without bumping the schema version
+fails here instead of silently drifting the archived perf trajectory.
+
+Exit status: 0 = every file validates; 1 = drift or no files found.
+"""
+
+import glob
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.api.result import ResultSchemaError, validate_result_dict  # noqa: E402
+from repro.campaign import validate_campaign_dict  # noqa: E402
+
+BENCH_META_SCHEMA = "repro.bench_meta/1"
+
+
+def _validate_entry(entry) -> None:
+    if not isinstance(entry, dict):
+        raise ResultSchemaError("entry is not a JSON object")
+    schema = entry.get("schema")
+    if schema == "repro.run_result/1":
+        validate_result_dict(entry)
+    elif schema == "repro.campaign_result/1":
+        validate_campaign_dict(entry)
+    elif schema == BENCH_META_SCHEMA:
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            raise ResultSchemaError("bench meta entry must carry a 'name' string")
+    else:
+        raise ResultSchemaError(f"unknown schema {schema!r}")
+
+
+def validate_dir(out_dir: str) -> int:
+    paths = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
+    if not paths:
+        print(f"error: no BENCH_*.json files under {out_dir!r}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, list):
+                raise ResultSchemaError("bench file must be a JSON array of entries")
+            for i, entry in enumerate(payload):
+                try:
+                    _validate_entry(entry)
+                except ResultSchemaError as exc:
+                    raise ResultSchemaError(f"entry {i}: {exc}") from None
+            print(f"ok   {path} ({len(payload)} entries)")
+        except (OSError, json.JSONDecodeError, ResultSchemaError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    return validate_dir(argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

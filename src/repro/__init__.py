@@ -35,6 +35,11 @@ Subpackages:
   :class:`~repro.api.ExperimentSpec` values, a string-keyed scenario
   registry, and one :func:`~repro.api.run` entry point returning a
   structured :class:`~repro.api.RunResult`.
+* :mod:`repro.campaign` — the parallel sweep engine: a frozen
+  :class:`~repro.campaign.CampaignSpec` grid over any experiment spec,
+  fanned out across worker processes by
+  :func:`~repro.campaign.run_campaign` with per-cell failure isolation
+  and resumable output directories.
 * :mod:`repro.seeding` — deterministic RNG derivation from a master
   seed (:func:`~repro.seeding.derive_rng`).
 
@@ -80,6 +85,10 @@ def __getattr__(name):
         from repro import api
 
         return getattr(api, name)
+    if name in ("CampaignSpec", "CampaignResult", "run_campaign"):
+        from repro import campaign
+
+        return getattr(campaign, name)
     if name in ("Summary", "SummaryPolicy", "build_summary", "summary_kinds"):
         from repro import reconcile
 
@@ -91,6 +100,9 @@ __all__ = [
     "ExperimentSpec",
     "RunResult",
     "run",
+    "CampaignSpec",
+    "CampaignResult",
+    "run_campaign",
     "Summary",
     "SummaryPolicy",
     "build_summary",

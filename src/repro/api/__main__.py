@@ -6,12 +6,24 @@ Usage::
     python -m repro.api --spec flash_crowd.json [--out result.json]
     python -m repro.api --scenario flash_crowd --seed 7
     python -m repro.api --scenario flash_crowd --print-spec > spec.json
+    python -m repro.api --campaign sweep.json --workers 4 --out dir
+    python -m repro.api --campaign sweep.json --workers 4 --out dir --resume
+    python -m repro.api --campaign-scenario pair_transfer --print-spec
 
 ``--spec`` runs a JSON :class:`~repro.api.ExperimentSpec` from disk;
 ``--scenario`` runs a registered scenario's miniature spec (a quick
-smoke / template).  Results print as the shared
-:data:`~repro.api.RESULT_SCHEMA` JSON, so CLI output, benchmark dumps,
-and ``RunResult.to_json`` are one format.
+smoke / template).  ``--campaign`` runs a JSON
+:class:`~repro.campaign.CampaignSpec` sweep through the parallel
+campaign engine (``--workers`` processes, per-cell results plus
+``campaign.json`` under ``--out``, ``--resume`` to pick up an
+interrupted sweep).  Results print as the shared
+:data:`~repro.api.RESULT_SCHEMA` /
+:data:`~repro.campaign.CAMPAIGN_RESULT_SCHEMA` JSON, so CLI output,
+benchmark dumps, and ``to_json`` are one format.
+
+``--out`` never silently clobbers: an existing result file (or a
+directory with a finished campaign) is refused unless ``--force`` —
+or, for campaigns, ``--resume`` — is passed.
 """
 
 import argparse
@@ -20,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from repro.api import registry, run
+from repro.api.output import prepare_out_file
 from repro.api.spec import ExperimentSpec, SpecError, SummarySpec
 from repro.reconcile import SummaryError
 
@@ -75,8 +88,35 @@ def _build_parser() -> argparse.ArgumentParser:
     source.add_argument(
         "--list", action="store_true", help="list registered scenarios and exit"
     )
+    source.add_argument(
+        "--campaign",
+        metavar="FILE",
+        help="path to a CampaignSpec JSON file: run the whole sweep",
+    )
+    source.add_argument(
+        "--campaign-scenario",
+        metavar="NAME",
+        help="run a registered scenario's miniature campaign grid",
+    )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the spec's master seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaign worker processes (1 = in-process, identical to serial)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="campaigns: reuse valid cell files already in the --out directory",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing --out file / finished campaign directory",
     )
     parser.add_argument(
         "--summary",
@@ -123,6 +163,67 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
     return spec
 
 
+def _load_campaign(args: argparse.Namespace):
+    """Resolve the CLI's campaign source, with seed/summary overrides."""
+    from repro.campaign import campaign_spec_from_file, small_campaign
+
+    if args.campaign:
+        campaign = campaign_spec_from_file(args.campaign)
+    else:
+        campaign = small_campaign(args.campaign_scenario)
+    base = campaign.base
+    if args.seed is not None:
+        base = dataclasses.replace(base, seed=args.seed)
+    if args.summary:
+        base = dataclasses.replace(
+            base,
+            strategy=dataclasses.replace(
+                base.strategy, summary=parse_summary_arg(args.summary)
+            ),
+        )
+    if base is not campaign.base:
+        campaign = dataclasses.replace(campaign, base=base)
+    return campaign
+
+
+def _campaign_main(args: argparse.Namespace) -> int:
+    """The ``--campaign`` / ``--campaign-scenario`` CLI path."""
+    from repro.campaign import run_campaign
+
+    try:
+        campaign = _load_campaign(args)
+        if args.print_spec:
+            print(campaign.to_json())
+            return 0
+        result = run_campaign(
+            campaign,
+            workers=args.workers,
+            out_dir=args.out,
+            resume=args.resume,
+            force=args.force,
+            include_series=args.series,
+        )
+    except (SpecError, registry.UnknownScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SummaryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    label = campaign.name or campaign.base.scenario
+    for cell in result.failures:
+        print(f"cell {cell.cell_id} failed: {cell.error}", file=sys.stderr)
+    if args.out:
+        print(
+            f"campaign {label}: cells={result.n_cells} ok={result.n_ok} "
+            f"completed={result.n_completed} failed={result.n_failed}"
+            f"\nwrote {args.out}"
+        )
+    else:
+        print(result.to_json())
+    return 0 if result.n_failed == 0 and result.n_completed == result.n_cells else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -132,10 +233,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             entry = registry.get(name)
             print(f"{name:26s} {entry.description}")
         return 0
+    if args.campaign or args.campaign_scenario:
+        return _campaign_main(args)
     if not args.spec and not args.scenario:
         parser.print_usage(sys.stderr)
         print(
-            "error: one of --spec, --scenario, or --list is required",
+            "error: one of --spec, --scenario, --campaign, "
+            "--campaign-scenario, or --list is required",
             file=sys.stderr,
         )
         return 2
@@ -145,6 +249,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.print_spec:
             print(spec.to_json())
             return 0
+        if args.out:
+            # Guard before spending the run: parents created, existing
+            # results refused unless --force.
+            prepare_out_file(args.out, force=args.force)
         result = run(spec)
     except (SpecError, registry.UnknownScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)

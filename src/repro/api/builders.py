@@ -912,6 +912,7 @@ def _transfer_metrics(result) -> Dict[str, float]:
     "pair_transfer",
     small_spec=lambda: pair_transfer(target=120, correlation=0.2, seed=5),
     description="Figure 5/6 pair layout: one partial sender, one receiver",
+    small_grid=lambda: {"params.correlation": [0.0, 0.3]},
 )
 def build_pair_transfer(spec: ExperimentSpec) -> BuiltExperiment:
     """Compact/stretched pair layout + strategy + transfer loop."""
@@ -1009,6 +1010,7 @@ def multi_sender_transfer(
         target=120, correlation=0.2, num_senders=2, seed=6
     ),
     description="Figure 7/8 layout: parallel partial senders over a shared core",
+    small_grid=lambda: {"strategy.name": ["Random", "Recode/BF"]},
 )
 def build_multi_sender_transfer(spec: ExperimentSpec) -> BuiltExperiment:
     """Shared-core layout + per-sender strategies + round-robin loop."""

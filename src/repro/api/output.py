@@ -1,0 +1,32 @@
+"""Output-path hygiene shared by the CLI and the campaign executor.
+
+One rule everywhere a result lands on disk: parent directories are
+created on demand, and an existing file is never silently clobbered —
+the caller must opt in (``--force``, or ``--resume`` for campaign
+directories, which reuses the cells instead of rewriting them).
+"""
+
+import os
+
+from repro.api.spec import SpecError
+
+
+def prepare_out_file(path: str, force: bool = False) -> str:
+    """Make ``path`` safe to write: create parents, refuse to clobber.
+
+    Returns ``path``; raises :class:`SpecError` (CLI exit status 2)
+    when the file already exists and ``force`` is not set.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except OSError as exc:
+        raise SpecError(f"cannot create output directory for {path!r}: {exc}") from exc
+    if os.path.exists(path) and not force:
+        raise SpecError(
+            f"output file {path!r} already exists; pass --force to overwrite"
+        )
+    return path
+
+
+__all__ = ["prepare_out_file"]

@@ -35,12 +35,21 @@ class UnknownScenarioError(KeyError):
 
 @dataclass
 class ScenarioEntry:
-    """One registered scenario: builder, docs, and a miniature spec."""
+    """One registered scenario: builder, docs, and miniature spec/grid.
+
+    ``small_grid`` is the campaign hook: a factory for a miniature
+    sweep grid (dotted override path -> values, see
+    :meth:`~repro.api.spec.ExperimentSpec.with_override`) that pairs
+    with ``small_spec`` to form a complete few-cell
+    :class:`~repro.campaign.CampaignSpec` for smoke tests and the
+    ``--campaign-scenario`` CLI path.
+    """
 
     name: str
     builder: Callable[[ExperimentSpec], object]
     small_spec: Optional[Callable[[], ExperimentSpec]] = None
     description: str = ""
+    small_grid: Optional[Callable[[], Dict[str, list]]] = None
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -50,6 +59,7 @@ def scenario(
     name: str,
     small_spec: Optional[Callable[[], ExperimentSpec]] = None,
     description: str = "",
+    small_grid: Optional[Callable[[], Dict[str, list]]] = None,
 ) -> Callable:
     """Class/function decorator registering a spec builder under ``name``."""
 
@@ -62,6 +72,7 @@ def scenario(
             builder=builder,
             small_spec=small_spec,
             description=description or (doc_lines[0] if doc_lines else ""),
+            small_grid=small_grid,
         )
         return builder
 
@@ -97,6 +108,12 @@ def small_specs() -> Dict[str, ExperimentSpec]:
     return {n: _REGISTRY[n].small_spec() for n in names() if _REGISTRY[n].small_spec}
 
 
+def small_grid(name: str) -> Dict[str, list]:
+    """The miniature campaign grid registered for ``name`` ({} if none)."""
+    entry = get(name)
+    return dict(entry.small_grid()) if entry.small_grid is not None else {}
+
+
 __all__ = [
     "UnknownScenarioError",
     "ScenarioEntry",
@@ -105,4 +122,5 @@ __all__ = [
     "names",
     "small_spec",
     "small_specs",
+    "small_grid",
 ]

@@ -29,6 +29,83 @@ from repro.sim.stats import StatsRecorder
 RESULT_SCHEMA = "repro.run_result/1"
 
 
+class ResultSchemaError(ValueError):
+    """A serialised result does not match its declared schema."""
+
+
+#: The exact key set ``RunResult.to_dict`` emits (``series`` only with
+#: ``include_series=True``).  Validation is closed-world on purpose:
+#: a new or renamed key is schema drift and must bump the version.
+_RESULT_KEYS = {
+    "schema",
+    "scenario",
+    "seed",
+    "completed",
+    "metrics",
+    "events",
+    "node_sessions",
+    "spec",
+}
+_RESULT_OPTIONAL_KEYS = {"series"}
+
+
+def _schema_require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ResultSchemaError(message)
+
+
+def validate_result_dict(data: Any) -> None:
+    """Validate a dict against :data:`RESULT_SCHEMA` (closed-world).
+
+    Shared by campaign ``--resume`` cell loading and the CI
+    bench-baseline job (``scripts/validate_bench.py``): raises
+    :class:`ResultSchemaError` on any missing, unknown, or wrongly
+    typed key, so schema drift fails loudly instead of accumulating
+    silently in archived results.
+    """
+    _schema_require(isinstance(data, dict), "result must be a JSON object")
+    _schema_require(
+        data.get("schema") == RESULT_SCHEMA,
+        f"result schema is {data.get('schema')!r}, expected {RESULT_SCHEMA!r}",
+    )
+    missing = _RESULT_KEYS - set(data)
+    unknown = set(data) - _RESULT_KEYS - _RESULT_OPTIONAL_KEYS
+    _schema_require(not missing, f"result is missing keys {sorted(missing)}")
+    _schema_require(not unknown, f"result has unknown keys {sorted(unknown)} (schema drift?)")
+    _schema_require(isinstance(data["scenario"], str), "result 'scenario' must be a string")
+    _schema_require(
+        isinstance(data["seed"], int) and not isinstance(data["seed"], bool),
+        "result 'seed' must be an integer",
+    )
+    _schema_require(isinstance(data["completed"], bool), "result 'completed' must be a boolean")
+    _schema_require(isinstance(data["metrics"], dict), "result 'metrics' must be an object")
+    for key, value in data["metrics"].items():
+        _schema_require(
+            isinstance(key, str)
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool),
+            f"result metric {key!r} must map a string to a number",
+        )
+    _schema_require(
+        isinstance(data["events"], list)
+        and all(isinstance(e, str) for e in data["events"]),
+        "result 'events' must be an array of strings",
+    )
+    _schema_require(
+        isinstance(data["node_sessions"], dict), "result 'node_sessions' must be an object"
+    )
+    _schema_require(
+        isinstance(data["spec"], dict) and isinstance(data["spec"].get("scenario"), str),
+        "result 'spec' must be an object naming its scenario",
+    )
+    if "series" in data:
+        _schema_require(
+            isinstance(data["series"], list)
+            and all(isinstance(row, list) and len(row) == 4 for row in data["series"]),
+            "result 'series' must be an array of 4-column rows",
+        )
+
+
 @dataclass
 class RunResult:
     """The structured outcome of one :func:`repro.api.run`."""
@@ -107,4 +184,4 @@ class RunResult:
         )
 
 
-__all__ = ["RESULT_SCHEMA", "RunResult"]
+__all__ = ["RESULT_SCHEMA", "ResultSchemaError", "RunResult", "validate_result_dict"]

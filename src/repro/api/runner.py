@@ -49,4 +49,16 @@ def run(spec: ExperimentSpec) -> RunResult:
     return build(spec).run()
 
 
-__all__ = ["BuiltExperiment", "build", "run"]
+def run_spec_json(text: str, include_series: bool = False) -> dict:
+    """Run a JSON-serialised spec and return the serialised result.
+
+    The process-boundary-safe entry the campaign executor's worker
+    processes call: both sides of the hop are plain JSON-compatible
+    values, so a cell replays bit-identically whichever process (or
+    machine) it lands on.
+    """
+    result = run(ExperimentSpec.from_json(text))
+    return result.to_dict(include_series=include_series)
+
+
+__all__ = ["BuiltExperiment", "build", "run", "run_spec_json"]

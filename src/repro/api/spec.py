@@ -345,6 +345,23 @@ class ExperimentSpec:
         merged.update(updates)
         return dataclasses.replace(self, params=_freeze_params(merged))
 
+    def with_override(self, path: str, value: Any) -> "ExperimentSpec":
+        """A copy with the dotted-path field ``path`` replaced by ``value``.
+
+        The campaign grid's application mechanism: ``path`` names any
+        scalar spec field by its dotted location (``"strategy.name"``,
+        ``"swarm.target"``, ``"params.correlation"``,
+        ``"strategy.summary.kind"``, ``"churn.depart_at"``...).
+        ``params`` segments address the scalar-extras mappings; a
+        ``None`` component on the way (no churn, no summary) is
+        instantiated with its defaults first.  Unknown paths, non-scalar
+        targets (node/link arrays), and values the component rejects all
+        fold into :class:`SpecError`.
+        """
+        parts = path.split(".")
+        _require(all(parts) and parts[0], f"override path {path!r} is malformed")
+        return _override(self, parts, value, path)
+
     @property
     def summary(self) -> Optional[SummarySpec]:
         """The experiment's summary selection (``strategy.summary``)."""
@@ -398,6 +415,67 @@ class ExperimentSpec:
         except json.JSONDecodeError as exc:
             raise SpecError(f"spec is not valid JSON: {exc}") from exc
         return cls.from_dict(data)
+
+
+#: Components :meth:`ExperimentSpec.with_override` may instantiate when
+#: a path traverses a field currently set to ``None``.
+_DEFAULTABLE_COMPONENTS = {"swarm": SwarmSpec, "churn": ChurnSpec, "summary": SummarySpec}
+
+
+def _is_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+def _override(obj: Any, parts: list, value: Any, full_path: str):
+    """Recursive core of :meth:`ExperimentSpec.with_override`."""
+    head, rest = parts[0], parts[1:]
+    # `params.KEY` addresses the scalar-extras mapping of the spec (or
+    # of a SummarySpec) rather than a dataclass field.
+    if head == "params" and isinstance(obj, (ExperimentSpec, SummarySpec)):
+        _require(
+            len(rest) == 1,
+            f"override {full_path!r}: 'params' takes exactly one key segment",
+        )
+        _require(_is_scalar(value), f"override {full_path!r}: value must be a JSON scalar")
+        if isinstance(obj, ExperimentSpec):
+            return obj.with_params(**{rest[0]: value})
+        merged = obj.params_dict()
+        merged[rest[0]] = value
+        return _construct(SummarySpec, {"kind": obj.kind, "params": _freeze_params(merged)})
+    known = {f.name for f in fields(obj)}
+    _require(
+        head in known,
+        f"override {full_path!r}: {type(obj).__name__} has no field {head!r} "
+        f"(fields: {sorted(known)})",
+    )
+    if not rest:
+        _require(_is_scalar(value), f"override {full_path!r}: value must be a JSON scalar")
+        current = getattr(obj, head)
+        _require(
+            not isinstance(current, tuple),
+            f"override {full_path!r}: field {head!r} is an array; only scalar "
+            f"fields can be overridden",
+        )
+        try:
+            return dataclasses.replace(obj, **{head: value})
+        except SpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"override {full_path!r}: {exc}") from exc
+    child = getattr(obj, head)
+    if child is None:
+        default = _DEFAULTABLE_COMPONENTS.get(head)
+        _require(
+            default is not None,
+            f"override {full_path!r}: {type(obj).__name__}.{head} is unset and "
+            f"has no default to extend",
+        )
+        child = default()
+    _require(
+        dataclasses.is_dataclass(child),
+        f"override {full_path!r}: field {head!r} is not a component spec",
+    )
+    return dataclasses.replace(obj, **{head: _override(child, rest, value, full_path)})
 
 
 def _check_keys(cls: type, data: Any) -> None:

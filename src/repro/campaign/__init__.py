@@ -1,0 +1,66 @@
+"""repro.campaign — the parallel sweep engine.
+
+The layer that turns "runs one experiment" into "runs the paper": a
+frozen, JSON-round-trippable :class:`CampaignSpec` (a base
+:class:`~repro.api.ExperimentSpec`, a grid of dotted-path overrides,
+and a replicate-seed range) expands into deterministic cells and fans
+out over worker processes::
+
+    from repro.api import specs
+    from repro.campaign import CampaignSpec, GridAxis, run_campaign
+
+    campaign = CampaignSpec(
+        base=specs.pair_transfer(target=1_000, seed=7),
+        grid=(
+            GridAxis("params.correlation", (0.0, 0.2, 0.4)),
+            GridAxis("strategy.name", ("Random", "Recode/BF")),
+        ),
+        seeds=3,
+    )
+    result = run_campaign(campaign, workers=4, out_dir="sweep-out")
+    print(result.n_completed, "/", result.n_cells)
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` / :class:`GridAxis`.
+* :mod:`repro.campaign.expander` — deterministic cell expansion with
+  :func:`~repro.seeding.derive_seed`-derived per-cell seeds.
+* :mod:`repro.campaign.executor` — :func:`run_campaign`: process-pool
+  fan-out, failure isolation, ``--resume`` from an output directory.
+* :mod:`repro.campaign.aggregate` — :class:`CampaignResult` and the
+  versioned ``repro.campaign_result/1`` schema.
+
+``python -m repro.api --campaign sweep.json --workers 4 --out dir``
+drives the same pipeline from the command line.
+"""
+
+from repro.campaign.aggregate import (
+    CAMPAIGN_RESULT_SCHEMA,
+    CampaignResult,
+    CellOutcome,
+    validate_campaign_dict,
+)
+from repro.campaign.executor import CAMPAIGN_FILE, prepare_campaign_dir, run_campaign
+from repro.campaign.expander import CampaignCell, expand
+from repro.campaign.spec import (
+    CAMPAIGN_SPEC_SCHEMA,
+    CampaignSpec,
+    GridAxis,
+    campaign_spec_from_file,
+    small_campaign,
+)
+
+__all__ = [
+    "CAMPAIGN_SPEC_SCHEMA",
+    "CAMPAIGN_RESULT_SCHEMA",
+    "CAMPAIGN_FILE",
+    "CampaignSpec",
+    "GridAxis",
+    "CampaignCell",
+    "CellOutcome",
+    "CampaignResult",
+    "expand",
+    "run_campaign",
+    "prepare_campaign_dir",
+    "small_campaign",
+    "campaign_spec_from_file",
+    "validate_campaign_dict",
+]

@@ -1,13 +1,16 @@
 """Figure 5-8 reproductions: delivery-strategy simulations.
 
-Every figure point is now one :class:`~repro.api.ExperimentSpec` run
-through :func:`repro.api.run` — the same declarative pipeline the
-scenario catalogs and the CLI use.  A point's spec can be recovered
-with :func:`fig5_spec` / :func:`fig6_spec` / :func:`fig78_spec`,
-serialised with ``spec.to_json()``, and replayed bit-identically
-anywhere (per-trial seeds derive from the sweep seed via
-:func:`repro.seeding.derive_seed`, never Python's randomised
-``hash()``).
+Every figure is now one :class:`~repro.campaign.CampaignSpec` grid
+(correlation x strategy, replicated over trial seeds) run through the
+parallel campaign engine — the same pipeline the CLI's ``--campaign``
+flag drives.  ``run_fig5(workers=4)`` fans the sweep out over worker
+processes; a figure's campaign can be recovered with
+:func:`fig5_campaigns` / :func:`fig6_campaigns` /
+:func:`fig78_campaigns`, serialised with ``campaign.to_json()``, and
+replayed bit-identically anywhere (per-cell seeds derive from the
+sweep seed via :func:`repro.seeding.derive_seed`, never Python's
+randomised ``hash()``).  Single points remain constructible with
+:func:`fig5_spec` / :func:`fig6_spec` / :func:`fig78_spec`.
 
 Shared conventions (Section 6.3):
 
@@ -24,15 +27,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.api import ExperimentSpec, run, specs
+from repro.api import ExperimentSpec, specs
 from repro.api.builders import DEFAULT_DESIRED_MARGIN
+from repro.campaign import CampaignSpec, GridAxis, run_campaign
 from repro.delivery import STRATEGY_NAMES
 from repro.delivery.scenarios import (
     COMPACT_MULTIPLIER,
     STRETCHED_MULTIPLIER,
     max_pair_correlation,
 )
-from repro.seeding import derive_seed
 
 #: Receiver's request margin over an even deficit split (decoding
 #: overhead allowance plus slack for sender-domain overlap) — the one
@@ -116,30 +119,132 @@ def fig78_spec(
     )
 
 
-def _sweep_point(
-    figure: str,
-    multiplier: float,
-    correlation: float,
-    strategy: str,
+#: The grid axes every delivery figure sweeps (x-axis and legend).
+_CORR_AXIS = "params.correlation"
+_STRATEGY_AXIS = "strategy.name"
+
+
+def _figure_campaign(
+    name: str,
+    base: ExperimentSpec,
+    correlations: Sequence[float],
+    strategies: Sequence[str],
     trials: int,
-    metric: str,
-    make_spec,
-) -> DeliveryPoint:
-    """Average one figure point's metric over seeded spec runs."""
-    values, completed = [], 0
-    for t in range(trials):
-        result = run(make_spec(t))
-        if result.completed:
-            completed += 1
-            values.append(result.metrics[metric])
-    return DeliveryPoint(
-        figure=figure,
-        scenario=_scenario_name(multiplier),
-        strategy=strategy,
-        correlation=correlation,
-        value=sum(values) / len(values) if values else math.nan,
-        completed_fraction=completed / trials,
+) -> CampaignSpec:
+    """One figure panel as a campaign: correlation x strategy x trials."""
+    return CampaignSpec(
+        base=base,
+        grid=(
+            GridAxis(_CORR_AXIS, tuple(correlations)),
+            GridAxis(_STRATEGY_AXIS, tuple(strategies)),
+        ),
+        seeds=trials,
+        name=name,
     )
+
+
+def _campaign_points(
+    figure: str, multiplier: float, campaign: CampaignSpec, metric: str, workers: int
+) -> List[DeliveryPoint]:
+    """Run one panel's campaign and fold its cells into figure points."""
+    result = run_campaign(campaign, workers=workers)
+    points: List[DeliveryPoint] = []
+    groups = result.cell_groups(_CORR_AXIS, _STRATEGY_AXIS)
+    for corr in campaign.axis(_CORR_AXIS).values:
+        for name in campaign.axis(_STRATEGY_AXIS).values:
+            cells = groups[(corr, name)]
+            value = result.mean_metric(cells, metric)
+            points.append(
+                DeliveryPoint(
+                    figure=figure,
+                    scenario=_scenario_name(multiplier),
+                    strategy=name,
+                    correlation=corr,
+                    value=value if value is not None else math.nan,
+                    completed_fraction=sum(c.completed for c in cells) / len(cells),
+                )
+            )
+    return points
+
+
+def fig5_campaigns(
+    target: int = DEFAULT_TARGET,
+    trials: int = DEFAULT_TRIALS,
+    correlation_points: int = 6,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    seed: int = 7,
+) -> Dict[float, CampaignSpec]:
+    """Figure 5's two panels (by distinct-multiplier) as campaign grids."""
+    return {
+        multiplier: _figure_campaign(
+            f"fig5-{_scenario_name(multiplier)}",
+            specs.pair_transfer(target=target, multiplier=multiplier, seed=seed),
+            _correlations(multiplier, correlation_points),
+            strategies,
+            trials,
+        )
+        for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER)
+    }
+
+
+def fig6_campaigns(
+    target: int = DEFAULT_TARGET,
+    trials: int = DEFAULT_TRIALS,
+    correlation_points: int = 6,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    seed: int = 11,
+) -> Dict[float, CampaignSpec]:
+    """Figure 6's two panels as campaign grids."""
+    return {
+        multiplier: _figure_campaign(
+            f"fig6-{_scenario_name(multiplier)}",
+            specs.pair_transfer(
+                target=target,
+                multiplier=multiplier,
+                seed=seed,
+                full_senders=1,
+                desired_margin=DESIRED_MARGIN,
+            ),
+            _correlations(multiplier, correlation_points),
+            strategies,
+            trials,
+        )
+        for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER)
+    }
+
+
+def fig78_campaigns(
+    num_senders: int,
+    target: int = DEFAULT_TARGET,
+    trials: int = DEFAULT_TRIALS,
+    correlation_points: int = 6,
+    strategies: Sequence[str] = STRATEGY_NAMES,
+    max_correlation: float = 0.5,
+    seed: int = 13,
+) -> Dict[float, CampaignSpec]:
+    """Figure 7/8's two panels (``num_senders`` partial senders) as grids."""
+    if num_senders < 1:
+        raise ValueError("need at least one sender")
+    corrs = [
+        max_correlation * i / (correlation_points - 1)
+        for i in range(correlation_points)
+    ]
+    return {
+        multiplier: _figure_campaign(
+            f"fig78-{num_senders}s-{_scenario_name(multiplier)}",
+            specs.multi_sender_transfer(
+                target=target,
+                multiplier=multiplier,
+                num_senders=num_senders,
+                seed=seed,
+                desired_margin=DESIRED_MARGIN,
+            ),
+            corrs,
+            strategies,
+            trials,
+        )
+        for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER)
+    }
 
 
 def run_fig5(
@@ -148,21 +253,13 @@ def run_fig5(
     correlation_points: int = 6,
     strategies: Sequence[str] = STRATEGY_NAMES,
     seed: int = 7,
+    workers: int = 1,
 ) -> List[DeliveryPoint]:
     """Figure 5: overhead of peer-to-peer transfers vs correlation."""
     points: List[DeliveryPoint] = []
-    for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
-        for corr in _correlations(multiplier, correlation_points):
-            for name in strategies:
-                points.append(
-                    _sweep_point(
-                        "5", multiplier, corr, name, trials, "overhead",
-                        lambda t, m=multiplier, c=corr, n=name: fig5_spec(
-                            target, m, c, n,
-                            derive_seed(seed, "fig5", m, c, n, t),
-                        ),
-                    )
-                )
+    campaigns = fig5_campaigns(target, trials, correlation_points, strategies, seed)
+    for multiplier, campaign in campaigns.items():
+        points += _campaign_points("5", multiplier, campaign, "overhead", workers)
     return points
 
 
@@ -172,21 +269,13 @@ def run_fig6(
     correlation_points: int = 6,
     strategies: Sequence[str] = STRATEGY_NAMES,
     seed: int = 11,
+    workers: int = 1,
 ) -> List[DeliveryPoint]:
     """Figure 6: speedup of full + partial sender over full sender alone."""
     points: List[DeliveryPoint] = []
-    for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
-        for corr in _correlations(multiplier, correlation_points):
-            for name in strategies:
-                points.append(
-                    _sweep_point(
-                        "6", multiplier, corr, name, trials, "speedup",
-                        lambda t, m=multiplier, c=corr, n=name: fig6_spec(
-                            target, m, c, n,
-                            derive_seed(seed, "fig6", m, c, n, t),
-                        ),
-                    )
-                )
+    campaigns = fig6_campaigns(target, trials, correlation_points, strategies, seed)
+    for multiplier, campaign in campaigns.items():
+        points += _campaign_points("6", multiplier, campaign, "speedup", workers)
     return points
 
 
@@ -198,30 +287,21 @@ def run_fig78(
     strategies: Sequence[str] = STRATEGY_NAMES,
     max_correlation: float = 0.5,
     seed: int = 13,
+    workers: int = 1,
 ) -> List[DeliveryPoint]:
     """Figures 7 (2 senders) and 8 (4 senders): parallel partial senders.
 
     Relative rate is measured against a single full sender (one useful
     symbol per round).
     """
-    if num_senders < 1:
-        raise ValueError("need at least one sender")
     figure = "7" if num_senders == 2 else "8" if num_senders == 4 else f"7/8({num_senders})"
     points: List[DeliveryPoint] = []
-    for multiplier in (COMPACT_MULTIPLIER, STRETCHED_MULTIPLIER):
-        corrs = [max_correlation * i / (correlation_points - 1)
-                 for i in range(correlation_points)]
-        for corr in corrs:
-            for name in strategies:
-                points.append(
-                    _sweep_point(
-                        figure, multiplier, corr, name, trials, "speedup",
-                        lambda t, m=multiplier, c=corr, n=name: fig78_spec(
-                            target, m, c, n, num_senders,
-                            derive_seed(seed, "fig78", num_senders, m, c, n, t),
-                        ),
-                    )
-                )
+    campaigns = fig78_campaigns(
+        num_senders, target, trials, correlation_points, strategies,
+        max_correlation, seed,
+    )
+    for multiplier, campaign in campaigns.items():
+        points += _campaign_points(figure, multiplier, campaign, "speedup", workers)
     return points
 
 

@@ -159,6 +159,21 @@ class TestDeliveryParity:
         assert result.transfer.rounds == legacy.rounds
 
 
+def _campaign_cell_seed(sweep_seed: int, correlation: float, strategy: str) -> int:
+    """The seed the campaign engine derives for one figure cell.
+
+    Pins the cross-layer contract: a figure point's cell seed is
+    ``derive_seed(base seed, "campaign", the cell's (key, value)
+    overrides in grid order, trial)`` — so any figure point can be
+    replayed as a single direct spec run on any machine.
+    """
+    overrides = (
+        ("params.correlation", correlation),
+        ("strategy.name", strategy),
+    )
+    return derive_seed(sweep_seed, "campaign", overrides, 0)
+
+
 class TestFigurePortParity:
     def test_fig5_points_equal_direct_spec_runs(self):
         from repro.experiments.fig5678 import fig5_spec, run_fig5
@@ -169,7 +184,7 @@ class TestFigurePortParity:
         compact = [p for p in points if p.scenario == "compact"]
         assert compact
         for point in compact:
-            seed = derive_seed(7, "fig5", 1.1, point.correlation, "Recode/BF", 0)
+            seed = _campaign_cell_seed(7, point.correlation, "Recode/BF")
             direct = run(fig5_spec(200, 1.1, point.correlation, "Recode/BF", seed))
             assert direct.completed
             assert point.value == direct.metrics["overhead"]
@@ -184,7 +199,7 @@ class TestFigurePortParity:
         stretched = [p for p in points if p.scenario == "stretched"]
         assert stretched
         for point in stretched:
-            seed = derive_seed(13, "fig78", 2, 1.5, point.correlation, "Recode/BF", 0)
+            seed = _campaign_cell_seed(13, point.correlation, "Recode/BF")
             direct = run(
                 fig78_spec(200, 1.5, point.correlation, "Recode/BF", 2, seed)
             )

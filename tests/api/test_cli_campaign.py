@@ -1,0 +1,127 @@
+"""CLI campaign surface: sweeps, resume, exit codes, --out guard."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.campaign import small_campaign, validate_campaign_dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _cli(*args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.api", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        **kwargs,
+    )
+
+
+class TestCampaignCli:
+    def test_campaign_scenario_print_spec_round_trips(self, tmp_path):
+        proc = _cli("--campaign-scenario", "pair_transfer", "--print-spec")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == "repro.campaign_spec/1"
+        assert payload == small_campaign("pair_transfer").to_dict()
+
+    def test_campaign_file_runs_on_workers(self, tmp_path):
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(small_campaign("pair_transfer").to_json())
+        out_dir = tmp_path / "sweep"
+        proc = _cli(
+            "--campaign", str(spec_file), "--workers", "2", "--out", str(out_dir)
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "cells=4 ok=4 completed=4 failed=0" in proc.stdout
+        payload = json.loads((out_dir / "campaign.json").read_text())
+        validate_campaign_dict(payload)
+        assert payload["summary"]["completed"] == 4
+
+    def test_campaign_without_out_prints_result_json(self, tmp_path):
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(small_campaign("pair_transfer").to_json())
+        proc = _cli("--campaign", str(spec_file))
+        assert proc.returncode == 0, proc.stderr
+        validate_campaign_dict(json.loads(proc.stdout))
+
+    def test_malformed_campaign_spec_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"grid": "not-a-grid"}')
+        proc = _cli("--campaign", str(bad))
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+        bad.write_text("{not json")
+        assert _cli("--campaign", str(bad)).returncode == 2
+
+    def test_missing_campaign_file_exits_2(self):
+        proc = _cli("--campaign", "/nonexistent/campaign.json")
+        assert proc.returncode == 2
+        assert "cannot read campaign spec file" in proc.stderr
+
+    def test_finished_out_dir_guard_and_resume(self, tmp_path):
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(small_campaign("pair_transfer").to_json())
+        out_dir = str(tmp_path / "sweep")
+        assert _cli("--campaign", str(spec_file), "--out", out_dir).returncode == 0
+        clobber = _cli("--campaign", str(spec_file), "--out", out_dir)
+        assert clobber.returncode == 2
+        assert "already holds a finished campaign" in clobber.stderr
+        resumed = _cli("--campaign", str(spec_file), "--out", out_dir, "--resume")
+        assert resumed.returncode == 0, resumed.stderr
+        forced = _cli("--campaign", str(spec_file), "--out", out_dir, "--force")
+        assert forced.returncode == 0, forced.stderr
+
+    def test_seed_override_rewrites_base_seed(self, tmp_path):
+        proc = _cli("--campaign-scenario", "pair_transfer", "--seed", "99",
+                    "--print-spec")
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["base"]["seed"] == 99
+
+    def test_failed_cells_exit_1_and_are_reported(self, tmp_path):
+        campaign = {
+            "base": {"scenario": "source_departure", "seed": 2, "swarm": None},
+            "seeds": 1,
+        }
+        # A structurally valid campaign whose single cell fails at
+        # build time (source_departure requires a swarm spec).
+        spec_file = tmp_path / "failing.json"
+        spec_file.write_text(json.dumps(campaign))
+        proc = _cli("--campaign", str(spec_file))
+        assert proc.returncode == 1
+        assert "failed: SpecError" in proc.stderr
+
+
+class TestSingleRunOutGuard:
+    def test_out_creates_parent_directories(self, tmp_path):
+        out = tmp_path / "a" / "b" / "result.json"
+        proc = _cli("--scenario", "pair_transfer", "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(out.read_text())["completed"] is True
+
+    def test_existing_result_refused_without_force(self, tmp_path):
+        out = tmp_path / "result.json"
+        assert _cli("--scenario", "pair_transfer", "--out", str(out)).returncode == 0
+        before = out.read_text()
+        clobber = _cli(
+            "--scenario", "pair_transfer", "--seed", "9", "--out", str(out)
+        )
+        assert clobber.returncode == 2
+        assert "pass --force to overwrite" in clobber.stderr
+        assert out.read_text() == before
+
+    def test_force_overwrites(self, tmp_path):
+        out = tmp_path / "result.json"
+        assert _cli("--scenario", "pair_transfer", "--out", str(out)).returncode == 0
+        forced = _cli(
+            "--scenario", "pair_transfer", "--seed", "9", "--out", str(out), "--force"
+        )
+        assert forced.returncode == 0, forced.stderr
+        assert json.loads(out.read_text())["seed"] == 9

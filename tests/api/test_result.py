@@ -115,3 +115,70 @@ class TestDefaultRngDeterminism:
             for _ in range(2)
         }
         assert len(outputs) == 1 and outputs.pop().strip()
+
+
+class TestValidateResultDict:
+    """The closed-world schema gate behind campaign resume and CI."""
+
+    def _result_dict(self, **kwargs):
+        result = run(specs.pair_transfer(target=120, correlation=0.2, seed=5))
+        return result.to_dict(**kwargs)
+
+    def test_real_results_validate(self):
+        from repro.api.result import validate_result_dict
+
+        validate_result_dict(self._result_dict())
+        validate_result_dict(self._result_dict(include_series=True))
+        # Including the JSON round trip (what lands on disk).
+        validate_result_dict(json.loads(json.dumps(self._result_dict())))
+
+    def test_wrong_schema_tag_rejected(self):
+        import pytest
+
+        from repro.api.result import ResultSchemaError, validate_result_dict
+
+        data = self._result_dict()
+        data["schema"] = "repro.run_result/2"
+        with pytest.raises(ResultSchemaError, match="schema"):
+            validate_result_dict(data)
+
+    def test_missing_and_unknown_keys_are_drift(self):
+        import pytest
+
+        from repro.api.result import ResultSchemaError, validate_result_dict
+
+        data = self._result_dict()
+        del data["metrics"]
+        with pytest.raises(ResultSchemaError, match="missing keys.*metrics"):
+            validate_result_dict(data)
+        data = self._result_dict()
+        data["wall_seconds"] = 1.0
+        with pytest.raises(ResultSchemaError, match="unknown keys.*wall_seconds"):
+            validate_result_dict(data)
+
+    def test_wrongly_typed_values_rejected(self):
+        import pytest
+
+        from repro.api.result import ResultSchemaError, validate_result_dict
+
+        for key, bad in [
+            ("completed", "yes"),
+            ("seed", 1.5),
+            ("metrics", [1, 2]),
+            ("events", "departed"),
+            ("spec", {"no_scenario": True}),
+        ]:
+            data = self._result_dict()
+            data[key] = bad
+            with pytest.raises(ResultSchemaError):
+                validate_result_dict(data)
+
+    def test_non_numeric_metric_rejected(self):
+        import pytest
+
+        from repro.api.result import ResultSchemaError, validate_result_dict
+
+        data = self._result_dict()
+        data["metrics"]["overhead"] = "1.2"
+        with pytest.raises(ResultSchemaError, match="must map a string to a number"):
+            validate_result_dict(data)
