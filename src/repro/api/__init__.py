@@ -37,6 +37,7 @@ from repro.api.spec import (
     LinkSpec,
     MeasurementSpec,
     NodeSpec,
+    ReconfigSpec,
     SpecError,
     StrategySpec,
     SummarySpec,
@@ -57,6 +58,7 @@ __all__ = [
     "StrategySpec",
     "SummarySpec",
     "ChurnSpec",
+    "ReconfigSpec",
     "MeasurementSpec",
     "BuiltExperiment",
     "build",

@@ -33,12 +33,12 @@ from typing import List, Optional
 
 from repro.api import registry, run
 from repro.api.output import prepare_out_file
-from repro.api.spec import ExperimentSpec, SpecError, SummarySpec
+from repro.api.spec import ExperimentSpec, ReconfigSpec, SpecError, SummarySpec
 from repro.reconcile import SummaryError
 
 
-def parse_summary_arg(text: str) -> SummarySpec:
-    """Parse ``kind[:param=val,...]`` into a :class:`SummarySpec`.
+def _parse_kv_params(tail: str, flag: str) -> dict:
+    """``param=val,...`` -> dict, shared by ``--summary``/``--reconfig``.
 
     Values parse as JSON scalars where possible (``8`` -> int,
     ``0.5`` -> float, ``true`` -> bool) and stay strings otherwise.
@@ -46,10 +46,6 @@ def parse_summary_arg(text: str) -> SummarySpec:
     """
     import json as _json
 
-    kind, _, tail = text.partition(":")
-    kind = kind.strip()
-    if not kind:
-        raise SpecError("--summary needs a summary kind before ':'")
     params = {}
     if tail.strip():
         for item in tail.split(","):
@@ -57,13 +53,64 @@ def parse_summary_arg(text: str) -> SummarySpec:
             key = key.strip()
             if not sep or not key:
                 raise SpecError(
-                    f"--summary parameter {item!r} is not of the form param=val"
+                    f"{flag} parameter {item!r} is not of the form param=val"
                 )
             try:
                 params[key] = _json.loads(value.strip())
             except _json.JSONDecodeError:
                 params[key] = value.strip()
-    return SummarySpec(kind=kind, params=params)
+    return params
+
+
+def parse_summary_arg(text: str) -> SummarySpec:
+    """Parse ``kind[:param=val,...]`` into a :class:`SummarySpec`."""
+    kind, _, tail = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise SpecError("--summary needs a summary kind before ':'")
+    return SummarySpec(kind=kind, params=_parse_kv_params(tail, "--summary"))
+
+
+def parse_reconfig_arg(text: str) -> ReconfigSpec:
+    """Parse ``policy[:param=val,...]`` into a :class:`ReconfigSpec`.
+
+    ``summary=<kind>`` selects the informed arm's summary kind and
+    ``summary.<param>=<val>`` its build parameters; every other key maps
+    to a :class:`ReconfigSpec` field (``interval``, ``jitter``,
+    ``scan_budget``, ``min_usefulness``, ``hysteresis``).  Examples::
+
+        --reconfig informed
+        --reconfig informed:summary=bloom,summary.bits_per_element=8
+        --reconfig random:interval=10
+        --reconfig static
+
+    Malformed input raises :class:`SpecError` (CLI exit status 2).
+    """
+    policy, _, tail = text.partition(":")
+    policy = policy.strip()
+    if not policy:
+        raise SpecError("--reconfig needs a policy kind before ':'")
+    fields = {}
+    summary_kind = None
+    summary_params = {}
+    for key, parsed in _parse_kv_params(tail, "--reconfig").items():
+        if key == "summary":
+            summary_kind = str(parsed)
+        elif key.startswith("summary."):
+            summary_params[key[len("summary."):]] = parsed
+        else:
+            fields[key] = parsed
+    if summary_params and summary_kind is None:
+        raise SpecError("--reconfig summary.* parameters need summary=<kind>")
+    summary = (
+        SummarySpec(kind=summary_kind, params=summary_params)
+        if summary_kind is not None
+        else None
+    )
+    try:
+        return ReconfigSpec(policy=policy, summary=summary, **fields)
+    except TypeError as exc:
+        raise SpecError(f"--reconfig: {exc}") from exc
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -127,6 +174,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--reconfig",
+        metavar="POLICY[:PARAM=VAL,...]",
+        help=(
+            "override the spec's overlay reconfiguration, e.g. 'static', "
+            "'random:interval=10', "
+            "'informed:summary=bloom,summary.bits_per_element=8,scan_budget=16'"
+        ),
+    )
+    parser.add_argument(
         "--out", metavar="FILE", help="write the result JSON here instead of stdout"
     )
     parser.add_argument(
@@ -160,6 +216,8 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
                 spec.strategy, summary=parse_summary_arg(args.summary)
             ),
         )
+    if args.reconfig:
+        spec = dataclasses.replace(spec, reconfig=parse_reconfig_arg(args.reconfig))
     return spec
 
 
@@ -170,7 +228,9 @@ def _load_campaign(args: argparse.Namespace):
     if args.campaign:
         campaign = campaign_spec_from_file(args.campaign)
     else:
-        campaign = small_campaign(args.campaign_scenario)
+        # A scenario without a registered miniature grid has no
+        # campaign to run — refuse loudly rather than sweep nothing.
+        campaign = small_campaign(args.campaign_scenario, require_grid=True)
     base = campaign.base
     if args.seed is not None:
         base = dataclasses.replace(base, seed=args.seed)
@@ -181,6 +241,8 @@ def _load_campaign(args: argparse.Namespace):
                 base.strategy, summary=parse_summary_arg(args.summary)
             ),
         )
+    if args.reconfig:
+        base = dataclasses.replace(base, reconfig=parse_reconfig_arg(args.reconfig))
     if base is not campaign.base:
         campaign = dataclasses.replace(campaign, base=base)
     return campaign
@@ -229,9 +291,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        # The markers say what each entry can drive: [spec] a miniature
+        # --scenario run, [spec+grid] additionally a --campaign-scenario
+        # sweep, [-] registered but with no miniature spec.
         for name in registry.names():
             entry = registry.get(name)
-            print(f"{name:26s} {entry.description}")
+            if entry.small_spec is None:
+                tag = "-"
+            elif entry.small_grid is not None:
+                tag = "spec+grid"
+            else:
+                tag = "spec"
+            print(f"{name:26s} [{tag:9s}] {entry.description}")
         return 0
     if args.campaign or args.campaign_scenario:
         return _campaign_main(args)

@@ -50,7 +50,13 @@ from repro.delivery.transfer import (
     simulate_p2p_transfer,
 )
 from repro.overlay.node import OverlayNode
-from repro.overlay.reconfiguration import SketchAdmission, UtilityRewiring
+from repro.overlay.reconfiguration import (
+    OpenAdmission,
+    RandomRewiring,
+    SketchAdmission,
+    SummaryScheme,
+    UtilityRewiring,
+)
 from repro.overlay.scenarios import default_family
 from repro.overlay.simulator import OverlaySimulator
 from repro.overlay.topology import PathCharacteristics, VirtualTopology
@@ -144,6 +150,77 @@ def _rounds_cap(max_packets: int, senders_per_round: int) -> Optional[int]:
     return max_packets // senders_per_round
 
 
+def reconfig_scheme(spec: ExperimentSpec) -> SummaryScheme:
+    """The :class:`SummaryScheme` a spec's reconfig selection names.
+
+    ``reconfig.summary`` unset resolves to the historical min-wise
+    calling card — the same permutation family every overlay node
+    publishes (:func:`~repro.overlay.scenarios.default_family`), so an
+    informed run under the default scheme replays the pre-spec
+    behaviour bit for bit.
+    """
+    rc = spec.reconfig
+    if rc is None or rc.summary is None:
+        return SummaryScheme.from_family(default_family())
+    return SummaryScheme(rc.summary.kind, rc.summary.params_dict())
+
+
+def _reconfig_policies(
+    spec: ExperimentSpec, rng: random.Random, policy: Optional[str] = None
+):
+    """(admission, rewiring) for a swarm spec's reconfig selection.
+
+    ``None`` reconfig keeps the historical informed defaults; an
+    explicit selection picks the arm: ``informed`` (summary-driven
+    thresholds and utility swaps), ``random`` (uninformed rewiring),
+    or ``static`` (no rewiring, structural admission only).  ``policy``
+    overrides the spec's own arm — the ``adaptive_overlay`` scenario
+    uses it to construct every arm from one spec.
+    """
+    rc = spec.reconfig
+    if policy is None:
+        if rc is None:
+            family = default_family()
+            return SketchAdmission(family), UtilityRewiring(family, rng=rng)
+        policy = rc.policy
+    if policy == "informed":
+        if rc is None:
+            from repro.api.spec import ReconfigSpec
+
+            rc = ReconfigSpec()
+        scheme = reconfig_scheme(spec)
+        return (
+            SketchAdmission(scheme, min_usefulness=rc.min_usefulness),
+            UtilityRewiring(scheme, hysteresis=rc.hysteresis, rng=rng),
+        )
+    if policy == "random":
+        return OpenAdmission(), RandomRewiring(rng=rng)
+    return OpenAdmission(), None  # static
+
+
+def _reconfig_sim_kwargs(spec: ExperimentSpec, swarm: SwarmSpec) -> Dict[str, float]:
+    """The epoch-scheduling kwargs every overlay builder hands the simulator."""
+    rc = spec.reconfig
+    return {
+        "reconfigure_every": (
+            rc.interval if rc is not None and rc.interval > 0 else swarm.reconfigure_every
+        ),
+        "reconfig_jitter": rc.jitter if rc is not None else 0.0,
+        "reconfig_budget": rc.scan_budget if rc is not None else 0,
+    }
+
+
+def _reject_reconfig(spec: ExperimentSpec) -> None:
+    """Refuse a reconfig selection on a scenario with no overlay to adapt."""
+    if spec.reconfig is not None:
+        raise SpecError(
+            f"scenario {spec.scenario!r} has no adaptive overlay; a reconfig "
+            "spec applies to the swarm scenarios (flash_crowd, "
+            "source_departure, asymmetric_bandwidth, correlated_regional_loss, "
+            "figure1, random_overlay, adaptive_overlay)"
+        )
+
+
 def _base_simulator(
     spec: ExperimentSpec,
     rng: random.Random,
@@ -157,17 +234,18 @@ def _base_simulator(
         if spec.measurement.record_series
         else None
     )
+    admission, rewiring = _reconfig_policies(spec, rng)
     sim = OverlaySimulator(
         VirtualTopology(),
         family,
-        admission=SketchAdmission(family),
-        rewiring=UtilityRewiring(family, rng=rng),
+        admission=admission,
+        rewiring=rewiring,
         strategy_name=spec.strategy.name,
         summary_policy=_summary_policy(spec),
-        reconfigure_every=swarm.reconfigure_every,
         rng=rng,
         link_factory=link_factory,
         stats=stats,
+        **_reconfig_sim_kwargs(spec, swarm),
     )
     return sim, family, stats
 
@@ -341,10 +419,17 @@ def _run_swarm(built: BuiltExperiment) -> RunResult:
     scenario_obj = built.scenario
     assert scenario_obj is not None
     report = scenario_obj.run(max_ticks=built.spec.measurement.max_ticks)
+    metrics = _swarm_metrics(report)
+    if built.spec.reconfig is not None:
+        # Control-plane accounting appears only under an explicit
+        # reconfig selection, so default-run metric keys stay exactly
+        # the pre-refactor set (parity-pinned).
+        metrics["reconfig_epochs"] = float(report.reconfig_epochs)
+        metrics["reconfig_control_bytes"] = float(report.control_bytes)
     return RunResult(
         spec=built.spec,
         completed=report.all_complete,
-        metrics=_swarm_metrics(report),
+        metrics=metrics,
         report=report,
         stats=scenario_obj.stats,
         events=list(scenario_obj.events),
@@ -917,6 +1002,7 @@ def _transfer_metrics(result) -> Dict[str, float]:
 def build_pair_transfer(spec: ExperimentSpec) -> BuiltExperiment:
     """Compact/stretched pair layout + strategy + transfer loop."""
     swarm = _require_swarm(spec)
+    _reject_reconfig(spec)
 
     def run(built: BuiltExperiment) -> RunResult:
         rng = random.Random(spec.seed)
@@ -1015,6 +1101,7 @@ def multi_sender_transfer(
 def build_multi_sender_transfer(spec: ExperimentSpec) -> BuiltExperiment:
     """Shared-core layout + per-sender strategies + round-robin loop."""
     swarm = _require_swarm(spec)
+    _reject_reconfig(spec)
 
     def run(built: BuiltExperiment) -> RunResult:
         rng = random.Random(spec.seed)
@@ -1121,6 +1208,7 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
     """Full-protocol sessions paced by link models on a shared clock."""
     swarm = _require_swarm(spec)
     _expect_groups(swarm, "dst")
+    _reject_reconfig(spec)
     if spec.churn is not None:
         raise SpecError("session_swarm does not support churn")
     session_cap = None
@@ -1235,6 +1323,226 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
     return BuiltExperiment(spec=spec, kind="sessions", runner=run)
 
 
+# ---------------------------------------------------------------------------
+# Overlay catalog ports (the legacy repro.overlay.scenarios helpers)
+# ---------------------------------------------------------------------------
+
+
+def figure1(
+    target: int = 400,
+    seed: int = 5,
+    with_perpendicular: bool = True,
+    strategy_name: str = "Recode/BF",
+    max_ticks: int = 10_000,
+) -> ExperimentSpec:
+    """Spec: the paper's Figure 1 topology with working sets as captioned.
+
+    Working sets: S full; A, B different halves; C, D, E quarters with
+    C and D disjoint.  ``with_perpendicular`` adds the collaborative
+    edges of Figure 1(c), subject to sketch admission.
+    """
+    return ExperimentSpec(
+        scenario="figure1",
+        seed=seed,
+        swarm=SwarmSpec(target=target),
+        strategy=StrategySpec(name=strategy_name),
+        measurement=MeasurementSpec(max_ticks=max_ticks),
+        params={"with_perpendicular": with_perpendicular},
+    )
+
+
+@scenario(
+    "figure1",
+    small_spec=lambda: figure1(target=120, seed=5),
+    description="The paper's Figure 1 layout: tree vs perpendicular transfers",
+)
+def build_figure1(spec: ExperimentSpec) -> BuiltExperiment:
+    """Captioned working sets + the figure's tree/perpendicular edges."""
+    swarm = _require_swarm(spec)
+    if spec.churn is not None:
+        raise SpecError("figure1 does not support churn")
+    target = swarm.target
+    rng = random.Random(spec.seed)
+    distinct = list(range(target))
+    rng.shuffle(distinct)
+    half = target // 2
+    quarter = target // 4
+    sets = {
+        "A": distinct[:half],
+        "B": distinct[half:],
+        "C": distinct[:quarter],
+        "D": distinct[quarter : 2 * quarter],  # disjoint from C
+        "E": distinct[half : half + quarter],
+    }
+    family = default_family()
+    stats = (
+        StatsRecorder(resolution=spec.measurement.resolution)
+        if spec.measurement.record_series
+        else None
+    )
+    if spec.reconfig is None:
+        # The figure contrasts fixed layouts: admission only, no
+        # rewiring (the historical construction, shim-parity-pinned).
+        admission, rewiring = SketchAdmission(family), None
+    else:
+        admission, rewiring = _reconfig_policies(spec, rng)
+    sim = OverlaySimulator(
+        VirtualTopology(),
+        family,
+        admission=admission,
+        rewiring=rewiring,
+        strategy_name=spec.strategy.name,
+        summary_policy=_summary_policy(spec),
+        rng=rng,
+        stats=stats,
+        **_reconfig_sim_kwargs(spec, swarm),
+    )
+    scenario_obj = SimScenario("figure1", sim, stats, target)
+    sim.add_node(OverlayNode("S", target, is_source=True))
+    for name, ids in sets.items():
+        sim.add_node(OverlayNode(name, target, initial_ids=ids))
+    # Figure 1(a): the initial multicast tree.
+    for parent, child in (("S", "A"), ("S", "B"), ("A", "C"), ("A", "D"), ("B", "E")):
+        sim.connect(parent, child)
+    if spec.param("with_perpendicular", True):
+        # Figure 1(c/d): collaborative transfers between complementary
+        # working sets (the legend's beneficial exchanges).
+        for sender, receiver in (
+            ("B", "A"), ("A", "B"),
+            ("C", "D"), ("D", "C"),
+            ("B", "C"), ("D", "E"), ("E", "D"), ("C", "E"),
+        ):
+            sim.connect(sender, receiver)
+    return BuiltExperiment(
+        spec=spec, kind="swarm", scenario=scenario_obj, runner=_run_swarm
+    )
+
+
+def random_overlay(
+    num_peers: int = 12,
+    target: int = 400,
+    num_sources: int = 1,
+    initial_fraction_lo: float = 0.0,
+    initial_fraction_hi: float = 0.6,
+    max_connections: int = 3,
+    seed: int = 17,
+    strategy_name: str = "Recode/BF",
+    with_physical: bool = True,
+    max_ticks: int = 10_000,
+) -> ExperimentSpec:
+    """Spec: a randomised adaptive overlay — sources plus seeded peers.
+
+    Peers start with random slices of the symbol space sized uniformly
+    in ``[initial_fraction_lo, initial_fraction_hi)`` of the target;
+    every peer bootstraps from a source and the reconfiguration policy
+    discovers perpendicular bandwidth on its own — the Section 2
+    environment.
+    """
+    if num_sources < 1:
+        raise SpecError("need at least one source")
+    if not 0.0 <= initial_fraction_lo <= initial_fraction_hi <= 1.0:
+        raise SpecError("initial fractions must satisfy 0 <= lo <= hi <= 1")
+    return ExperimentSpec(
+        scenario="random_overlay",
+        seed=seed,
+        swarm=SwarmSpec(target=target, distinct_multiplier=1.2),
+        strategy=StrategySpec(name=strategy_name),
+        measurement=MeasurementSpec(max_ticks=max_ticks),
+        params={
+            "num_peers": num_peers,
+            "num_sources": num_sources,
+            "initial_fraction_lo": initial_fraction_lo,
+            "initial_fraction_hi": initial_fraction_hi,
+            "max_connections": max_connections,
+            "with_physical": with_physical,
+        },
+    )
+
+
+@scenario(
+    "random_overlay",
+    small_spec=lambda: random_overlay(num_peers=6, target=100, seed=8),
+    description="Randomised adaptive overlay: seeded peers discover each other",
+)
+def build_random_overlay(spec: ExperimentSpec) -> BuiltExperiment:
+    """The legacy randomised construction, RNG-order-identical."""
+    from repro.overlay.topology import PhysicalNetwork
+
+    swarm = _require_swarm(spec)
+    if spec.churn is not None:
+        raise SpecError(
+            "random_overlay schedules no churn itself; drive a ChurnProcess "
+            "against the built simulator instead"
+        )
+    target = swarm.target
+    num_peers = int(spec.param("num_peers", 12))
+    num_sources = int(spec.param("num_sources", 1))
+    lo = float(spec.param("initial_fraction_lo", 0.0))
+    hi = float(spec.param("initial_fraction_hi", 0.6))
+    max_connections = int(spec.param("max_connections", 3))
+    with_physical = bool(spec.param("with_physical", True))
+
+    rng = random.Random(spec.seed)
+    family = default_family()
+    physical = None
+    if with_physical:
+        physical = PhysicalNetwork.random_network(
+            num_routers=max(4, num_peers // 2), seed=spec.seed
+        )
+    stats = (
+        StatsRecorder(resolution=spec.measurement.resolution)
+        if spec.measurement.record_series
+        else None
+    )
+    admission, rewiring = _reconfig_policies(spec, rng)
+    sim = OverlaySimulator(
+        VirtualTopology(physical),
+        family,
+        admission=admission,
+        rewiring=rewiring,
+        strategy_name=spec.strategy.name,
+        summary_policy=_summary_policy(spec),
+        rng=rng,
+        stats=stats,
+        **_reconfig_sim_kwargs(spec, swarm),
+    )
+    scenario_obj = SimScenario("random_overlay", sim, stats, target)
+    nodes: Dict[str, OverlayNode] = {}
+    routers = physical.routers() if physical is not None else []
+    distinct = swarm.distinct_symbols
+    for i in range(num_sources):
+        node = OverlayNode(
+            f"src{i}", target, is_source=True,
+            fresh_id_start=(1 << 40) + i * (1 << 20),
+        )
+        nodes[node.node_id] = node
+    for i in range(num_peers):
+        frac = rng.uniform(lo, hi)
+        count = int(frac * target)
+        ids = rng.sample(range(distinct), count) if count else []
+        nodes[f"p{i}"] = OverlayNode(
+            f"p{i}", target, initial_ids=ids, max_connections=max_connections
+        )
+    for node in nodes.values():
+        if physical is not None and routers:
+            physical.attach_host(
+                node.node_id,
+                rng.choice(routers),
+                bandwidth=rng.uniform(2.0, 6.0),
+                loss_rate=rng.uniform(0.0, 0.01),
+            )
+        sim.add_node(node)
+    # Seed the overlay: every peer connects to a source, then rewiring
+    # discovers perpendicular bandwidth on its own.
+    source_ids = [n.node_id for n in nodes.values() if n.is_source]
+    for node in nodes.values():
+        if not node.is_source:
+            sim.connect(rng.choice(source_ids), node.node_id)
+    return BuiltExperiment(
+        spec=spec, kind="swarm", scenario=scenario_obj, runner=_run_swarm
+    )
+
+
 __all__ = [
     "flash_crowd",
     "source_departure",
@@ -1244,4 +1552,7 @@ __all__ = [
     "pair_transfer",
     "multi_sender_transfer",
     "session_swarm",
+    "figure1",
+    "random_overlay",
+    "reconfig_scheme",
 ]

@@ -32,6 +32,14 @@ SEED_BASES = ("target", "distinct")
 #: Node roles.
 NODE_ROLES = ("peer", "source")
 
+#: Reconfiguration policy kinds a :class:`ReconfigSpec` may name.
+RECONFIG_POLICIES = ("informed", "random", "static")
+
+#: The informed policy's historical defaults (admission threshold and
+#: swap margin), shared by the spec fields and their unset checks.
+DEFAULT_MIN_USEFULNESS = 0.02
+DEFAULT_HYSTERESIS = 0.1
+
 
 class SpecError(ValueError):
     """A spec failed validation or deserialisation."""
@@ -230,6 +238,66 @@ class SummarySpec:
 
 
 @dataclass(frozen=True)
+class ReconfigSpec:
+    """How (and how often) the overlay adapts its peering.
+
+    ``policy`` picks the adaptation arm: ``"informed"`` (summary-driven
+    admission thresholds and utility rewiring — the paper's Section 4
+    machinery), ``"random"`` (uninformed random rewiring, the control
+    arm), or ``"static"`` (no rewiring at all).  ``summary`` names the
+    registered :class:`~repro.reconcile.base.Summary` kind whose cards
+    drive the informed estimates; ``None`` selects the historical
+    min-wise calling card (128 permutations over the 2^32 universe,
+    family seed 99), under which a run is bit-identical to the
+    pre-spec behaviour — the parity tests pin it.
+
+    ``interval`` is the epoch period in simulated time units (0 = the
+    swarm's ``reconfigure_every``); ``jitter`` defers each epoch's pass
+    by a uniform draw in ``[0, jitter)``; ``scan_budget`` caps how many
+    candidate cards a receiver scans per epoch (0 = all).
+    ``min_usefulness`` and ``hysteresis`` are the informed policy's
+    admission threshold and swap margin.
+    """
+
+    policy: str = "informed"
+    summary: Optional["SummarySpec"] = None
+    interval: float = 0.0
+    jitter: float = 0.0
+    scan_budget: int = 0
+    min_usefulness: float = DEFAULT_MIN_USEFULNESS
+    hysteresis: float = DEFAULT_HYSTERESIS
+
+    def __post_init__(self) -> None:
+        _require(
+            self.policy in RECONFIG_POLICIES,
+            f"unknown reconfig policy {self.policy!r}; expected one of {RECONFIG_POLICIES}",
+        )
+        _require_int(self.scan_budget, "scan_budget")
+        _require(self.interval >= 0.0, "reconfig interval must be non-negative")
+        _require(self.jitter >= 0.0, "reconfig jitter must be non-negative")
+        _require(self.scan_budget >= 0, "scan_budget must be non-negative")
+        _require(
+            0.0 <= self.min_usefulness <= 1.0, "min_usefulness must lie in [0, 1]"
+        )
+        _require(self.hysteresis >= 0.0, "hysteresis must be non-negative")
+        if self.policy != "informed":
+            # Only the informed policy consults these; accepting them on
+            # the baseline arms would silently ignore a user's selection.
+            _require(
+                self.summary is None,
+                f"reconfig policy {self.policy!r} consults no summaries; "
+                "'summary' applies to the informed policy only",
+            )
+            _require(
+                self.min_usefulness == DEFAULT_MIN_USEFULNESS
+                and self.hysteresis == DEFAULT_HYSTERESIS,
+                f"reconfig policy {self.policy!r} has no admission threshold "
+                "or swap margin; min_usefulness/hysteresis apply to the "
+                "informed policy only",
+            )
+
+
+@dataclass(frozen=True)
 class StrategySpec:
     """Sender strategy selection (the Figure 5-8 legend) and summary budget.
 
@@ -320,6 +388,7 @@ class ExperimentSpec:
     swarm: Optional[SwarmSpec] = None
     strategy: StrategySpec = StrategySpec()
     churn: Optional[ChurnSpec] = None
+    reconfig: Optional[ReconfigSpec] = None
     measurement: MeasurementSpec = MeasurementSpec()
     params: Tuple[Tuple[str, Any], ...] = ()
 
@@ -376,6 +445,20 @@ class ExperimentSpec:
             ),
         )
 
+    def with_reconfig(self, policy: str = "informed", **fields: Any) -> "ExperimentSpec":
+        """A copy selecting an overlay reconfiguration policy.
+
+        ``summary_kind``/``summary_params`` select the summary the
+        informed estimates flow through; every other keyword maps to a
+        :class:`ReconfigSpec` field.
+        """
+        kind = fields.pop("summary_kind", None)
+        params = fields.pop("summary_params", None)
+        summary = SummarySpec(kind=kind, params=params or ()) if kind else None
+        return dataclasses.replace(
+            self, reconfig=ReconfigSpec(policy=policy, summary=summary, **fields)
+        )
+
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -384,6 +467,8 @@ class ExperimentSpec:
         out["params"] = self.params_dict()
         if self.strategy.summary is not None:
             out["strategy"]["summary"]["params"] = self.strategy.summary.params_dict()
+        if self.reconfig is not None and self.reconfig.summary is not None:
+            out["reconfig"]["summary"]["params"] = self.reconfig.summary.params_dict()
         if self.swarm is not None:
             out["swarm"]["nodes"] = [dataclasses.asdict(n) for n in self.swarm.nodes]
             out["swarm"]["links"] = [dataclasses.asdict(r) for r in self.swarm.links]
@@ -398,12 +483,14 @@ class ExperimentSpec:
         _require("scenario" in data, "spec is missing the 'scenario' key")
         swarm = data.get("swarm")
         churn = data.get("churn")
+        reconfig = data.get("reconfig")
         return cls(
             scenario=data["scenario"],
             seed=data.get("seed", 0),
             swarm=_swarm_from_dict(swarm) if swarm is not None else None,
             strategy=_strategy_from_dict(data.get("strategy")),
             churn=_component_from_dict(ChurnSpec, churn) if churn is not None else None,
+            reconfig=_reconfig_from_dict(reconfig) if reconfig is not None else None,
             measurement=_component_from_dict(MeasurementSpec, data.get("measurement")),
             params=_freeze_params(data.get("params", ())),
         )
@@ -419,7 +506,12 @@ class ExperimentSpec:
 
 #: Components :meth:`ExperimentSpec.with_override` may instantiate when
 #: a path traverses a field currently set to ``None``.
-_DEFAULTABLE_COMPONENTS = {"swarm": SwarmSpec, "churn": ChurnSpec, "summary": SummarySpec}
+_DEFAULTABLE_COMPONENTS = {
+    "swarm": SwarmSpec,
+    "churn": ChurnSpec,
+    "summary": SummarySpec,
+    "reconfig": ReconfigSpec,
+}
 
 
 def _is_scalar(value: Any) -> bool:
@@ -523,6 +615,13 @@ def _summary_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[SummarySpe
     )
 
 
+def _reconfig_from_dict(data: Mapping[str, Any]) -> ReconfigSpec:
+    _check_keys(ReconfigSpec, data)
+    kwargs = dict(data)
+    kwargs["summary"] = _summary_from_dict(data.get("summary"))
+    return _construct(ReconfigSpec, kwargs)
+
+
 def _strategy_from_dict(data: Optional[Mapping[str, Any]]) -> StrategySpec:
     if data is None:
         return StrategySpec()
@@ -569,6 +668,7 @@ __all__ = [
     "SEEDING_RULES",
     "SEED_BASES",
     "NODE_ROLES",
+    "RECONFIG_POLICIES",
     "LinkSpec",
     "LinkRuleSpec",
     "NodeSpec",
@@ -576,6 +676,7 @@ __all__ = [
     "SummarySpec",
     "StrategySpec",
     "ChurnSpec",
+    "ReconfigSpec",
     "MeasurementSpec",
     "ExperimentSpec",
 ]

@@ -10,13 +10,16 @@ canonical name everywhere); ``asymmetric_bandwidth_swarm`` survives
 only as a deprecated alias of ``asymmetric_bandwidth``.
 """
 
+from repro.api.adaptive import adaptive_overlay
 from repro.api.builders import (
     asymmetric_bandwidth,
     asymmetric_bandwidth_swarm,  # deprecated alias, warns on call
     correlated_regional_loss,
+    figure1,
     flash_crowd,
     multi_sender_transfer,
     pair_transfer,
+    random_overlay,
     session_swarm,
     source_departure,
 )
@@ -32,4 +35,7 @@ __all__ = [
     "multi_sender_transfer",
     "session_swarm",
     "summary_tradeoff",
+    "figure1",
+    "random_overlay",
+    "adaptive_overlay",
 ]

@@ -163,6 +163,9 @@ def build_summary_tradeoff(spec: ExperimentSpec) -> BuiltExperiment:
     budgets = _parse_budgets(spec)
     if spec.churn is not None:
         raise SpecError("summary_tradeoff does not support churn")
+    from repro.api.builders import _reject_reconfig
+
+    _reject_reconfig(spec)
     if spec.strategy.summary is not None:
         raise SpecError(
             "summary_tradeoff sweeps summary kinds itself (the 'kinds' "

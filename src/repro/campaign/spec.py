@@ -213,18 +213,34 @@ def _axis_from_dict(data: Any) -> GridAxis:
     return GridAxis(key=data["key"], values=tuple(values))
 
 
-def small_campaign(scenario_name: str, seeds: int = 2) -> CampaignSpec:
+def small_campaign(
+    scenario_name: str, seeds: int = 2, require_grid: bool = False
+) -> CampaignSpec:
     """A miniature but complete campaign for a registered scenario.
 
     Pairs the scenario's ``small_spec`` with its registered
     ``small_grid`` (a seeds-only campaign when it has none) — the
     campaign analogue of :func:`repro.api.registry.small_spec`, powering
     smoke tests and the ``--campaign-scenario`` CLI path.
+
+    ``require_grid=True`` (the CLI's setting) refuses a scenario that
+    registered no miniature grid instead of silently degrading to a
+    seeds-only sweep: a user asking for that scenario's campaign is
+    asking for a sweep nobody defined.
     """
     base = registry.small_spec(scenario_name)
+    grid_map = registry.small_grid(scenario_name)
+    if require_grid and not grid_map:
+        with_grids = [
+            n for n in registry.names() if registry.get(n).small_grid is not None
+        ]
+        raise SpecError(
+            f"scenario {scenario_name!r} registered no miniature campaign grid; "
+            f"scenarios with one: {', '.join(with_grids) or '(none)'} — or pass "
+            f"a full CampaignSpec file via --campaign"
+        )
     grid = tuple(
-        GridAxis(key=key, values=tuple(values))
-        for key, values in registry.small_grid(scenario_name).items()
+        GridAxis(key=key, values=tuple(values)) for key, values in grid_map.items()
     )
     return CampaignSpec(
         base=base, grid=grid, seeds=seeds, name=f"{scenario_name}-small"

@@ -27,8 +27,11 @@ from repro.overlay.node import OverlayNode
 from repro.overlay.simulator import Connection, OverlaySimulator, SimulationReport
 from repro.overlay.reconfiguration import (
     AdmissionPolicy,
+    OpenAdmission,
+    RandomRewiring,
     ReconfigurationPolicy,
     SketchAdmission,
+    SummaryScheme,
     UtilityRewiring,
 )
 from repro.overlay.scenarios import figure1_scenario, random_overlay_scenario
@@ -45,8 +48,11 @@ __all__ = [
     "SimulationReport",
     "AdmissionPolicy",
     "SketchAdmission",
+    "OpenAdmission",
     "ReconfigurationPolicy",
     "UtilityRewiring",
+    "RandomRewiring",
+    "SummaryScheme",
     "figure1_scenario",
     "random_overlay_scenario",
 ]

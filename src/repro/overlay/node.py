@@ -8,7 +8,7 @@ partial nodes serve from what they hold.
 
 import itertools
 import random
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.delivery.working_set import DEFAULT_KEY_UNIVERSE, WorkingSet
 from repro.hashing.permutations import PermutationFamily
@@ -46,6 +46,8 @@ class OverlayNode:
         self.max_connections = max_connections
         self._sketch: Optional[MinwiseSketch] = None
         self._sketch_dirty = True
+        self._cards: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
+        self._cards_dirty = True
         if is_source:
             start = fresh_id_start if fresh_id_start is not None else (1 << 40)
             self._fresh_ids = itertools.count(start)
@@ -66,6 +68,7 @@ class OverlayNode:
         new = self.working_set.add(symbol_id)
         if new:
             self._sketch_dirty = True
+            self._cards_dirty = True
         return new
 
     def mint_fresh_id(self) -> int:
@@ -91,6 +94,36 @@ class OverlayNode:
             )
             self._sketch_dirty = False
         return self._sketch
+
+    def summary_card(
+        self, kind: str, params: Tuple[Tuple[str, Any], ...] = ()
+    ) -> Any:
+        """Current working-set summary of any registered kind, cached.
+
+        The generic counterpart of :meth:`sketch`: builds a
+        :class:`~repro.reconcile.base.Summary` through the adapter
+        registry and caches it until the working set changes, so a
+        reconfiguration epoch scanning many candidate pairs builds each
+        node's card once.  Min-wise cards fold ids into the family's
+        universe exactly as :meth:`sketch` does, so the two paths
+        publish identical minima.
+        """
+        if self._cards_dirty:
+            self._cards.clear()
+            self._cards_dirty = False
+        key = (kind, params)
+        card = self._cards.get(key)
+        if card is None:
+            from repro.reconcile import build_summary
+
+            kwargs = dict(params)
+            ids: Iterable[int] = self.working_set.ids
+            if kind == "minwise":
+                universe = kwargs.get("universe", DEFAULT_KEY_UNIVERSE)
+                ids = (i % universe for i in ids)
+            card = build_summary(kind, ids, **kwargs)
+            self._cards[key] = card
+        return card
 
     def estimated_usefulness_of(
         self, other: "OverlayNode", family: PermutationFamily

@@ -6,14 +6,126 @@ These policies plug into :class:`~repro.overlay.simulator.OverlaySimulator`
 and make the overlay *adaptive* in the paper's sense — connections form,
 are judged by their informed utility, and are replaced when better-suited
 peers exist.
+
+The utility signal is pluggable: a :class:`SummaryScheme` names any
+registered :class:`~repro.reconcile.base.Summary` kind (min-wise, Bloom,
+mod-k, CPI, ...) and estimates peer usefulness through that structure's
+own reconciliation surface, with the control bytes each exchanged card
+would cost reported honestly via ``wire_bytes``.  Constructing a policy
+from a raw :class:`~repro.hashing.permutations.PermutationFamily` (the
+historical signature) coerces to a min-wise scheme over the same family
+and publishes bit-identical minima, so seeded legacy runs replay
+exactly — ``tests/sim/test_parity.py`` pins it.
 """
 
 import random
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Tuple, Union
 
 from repro.hashing.permutations import PermutationFamily
 from repro.overlay.node import OverlayNode
+from repro.reconcile.base import Summary
+from repro.reconcile.registry import summary_class
 from repro.seeding import default_rng
+
+
+class SummaryScheme:
+    """Which summary kind estimates peer utility, and how.
+
+    The overlay's counterpart of :class:`~repro.reconcile.SummaryPolicy`:
+    one scheme is shared by a simulator's admission and rewiring policies
+    so every utility judgement in a run flows through the same summary
+    structure.  Cards are built through
+    :meth:`~repro.overlay.node.OverlayNode.summary_card` (cached per
+    node until its working set changes).
+
+    Args:
+        kind: registered summary kind (``"minwise"``, ``"bloom"``, ...).
+        params: that adapter's build parameters.
+    """
+
+    def __init__(self, kind: str = "minwise", params: Optional[Mapping[str, Any]] = None):
+        summary_class(kind)  # fail fast on unknown kinds
+        self.kind = kind
+        self.params: Tuple[Tuple[str, Any], ...] = (
+            tuple(sorted(params.items())) if params else ()
+        )
+
+    @classmethod
+    def from_family(cls, family: PermutationFamily) -> "SummaryScheme":
+        """The min-wise scheme publishing ``family``'s exact minima."""
+        return cls(
+            "minwise",
+            {
+                "entries": len(family),
+                "universe": family.universe_size,
+                "seed": family.seed,
+            },
+        )
+
+    @classmethod
+    def coerce(
+        cls, scheme: Union["SummaryScheme", PermutationFamily]
+    ) -> "SummaryScheme":
+        """Accept either a scheme or the historical family argument."""
+        if isinstance(scheme, SummaryScheme):
+            return scheme
+        if isinstance(scheme, PermutationFamily):
+            return cls.from_family(scheme)
+        raise TypeError(
+            f"expected a SummaryScheme or PermutationFamily, got {type(scheme).__name__}"
+        )
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def card_of(self, node: OverlayNode) -> Summary:
+        """The node's (cached) summary card under this scheme."""
+        return node.summary_card(self.kind, self.params)
+
+    def resemblance(self, ours: Summary, theirs: Summary) -> float:
+        """Estimated ``|A ∩ B| / |A ∪ B|`` between two same-scheme cards.
+
+        Min-wise cards use their native matching-positions estimator —
+        the exact float the legacy sketch path produced.  Every other
+        kind derives resemblance from its symmetric-difference estimate
+        by inclusion-exclusion (the inverse map, so an unclamped
+        estimate round-trips exactly); an exceeded CPI bound reads as
+        resemblance 0.0 — a discrepancy too large to reconcile *is*
+        evidence of low overlap.
+        """
+        if self.kind == "minwise":
+            return ours.estimate_resemblance(theirs)  # type: ignore[attr-defined]
+        from repro.exact.cpi import DiscrepancyExceeded
+
+        try:
+            d = ours.estimate_difference(theirs)
+        except DiscrepancyExceeded:
+            return 0.0
+        total = ours.set_size + theirs.set_size
+        union = (total + d) / 2.0
+        if union <= 0:
+            return 0.0
+        intersection = (total - d) / 2.0
+        return min(1.0, max(0.0, intersection / union))
+
+    def usefulness(self, receiver: OverlayNode, candidate: OverlayNode) -> float:
+        """1 - resemblance: how much new content ``candidate`` offers.
+
+        Sources are always maximally useful (they mint fresh symbols);
+        this is the admission-control signal from Section 4.
+        """
+        if candidate.is_source:
+            return 1.0
+        return 1.0 - self.resemblance(
+            self.card_of(receiver), self.card_of(candidate)
+        )
+
+    def card_wire_bytes(self, node: OverlayNode) -> int:
+        """Honest wire cost of shipping the node's card once."""
+        return self.card_of(node).wire_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SummaryScheme(kind={self.kind!r}, params={dict(self.params)!r})"
 
 
 class AdmissionPolicy(Protocol):
@@ -25,16 +137,22 @@ class AdmissionPolicy(Protocol):
 
 
 class SketchAdmission:
-    """Admit a sender iff its sketched usefulness clears a threshold.
+    """Admit a sender iff its estimated usefulness clears a threshold.
 
     A threshold of 0 admits everyone except exact-duplicate working sets
-    (up to sketch noise); the paper's "simple admission control".
+    (up to summary noise); the paper's "simple admission control".  Any
+    :class:`SummaryScheme` (or, for the historical path, a raw
+    :class:`PermutationFamily`) supplies the estimate.
     """
 
-    def __init__(self, family: PermutationFamily, min_usefulness: float = 0.02):
+    def __init__(
+        self,
+        scheme: Union[SummaryScheme, PermutationFamily],
+        min_usefulness: float = 0.02,
+    ):
         if not 0.0 <= min_usefulness <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
-        self.family = family
+        self.scheme = SummaryScheme.coerce(scheme)
         self.min_usefulness = min_usefulness
 
     def admit(self, receiver: OverlayNode, candidate: OverlayNode) -> bool:
@@ -42,10 +160,19 @@ class SketchAdmission:
             return True
         if len(candidate.working_set) == 0:
             return False
-        return (
-            receiver.estimated_usefulness_of(candidate, self.family)
-            >= self.min_usefulness
-        )
+        return self.scheme.usefulness(receiver, candidate) >= self.min_usefulness
+
+
+class OpenAdmission:
+    """Admit every candidate that has anything to offer.
+
+    The uninformed baseline (the paper's static and random arms): no
+    summaries are consulted, only the structural guards — empty
+    candidates cannot serve, sources always can.
+    """
+
+    def admit(self, receiver: OverlayNode, candidate: OverlayNode) -> bool:
+        return candidate.is_source or len(candidate.working_set) > 0
 
 
 class ReconfigurationPolicy(Protocol):
@@ -59,24 +186,44 @@ class ReconfigurationPolicy(Protocol):
     ) -> Tuple[List[OverlayNode], List[OverlayNode]]: ...
 
 
+def _usable_candidates(
+    receiver: OverlayNode,
+    current_senders: List[OverlayNode],
+    candidates: List[OverlayNode],
+) -> List[OverlayNode]:
+    """Candidates a rewiring pass may consider: not self, not already a
+    sender, and holding something to send (zero-working-set peers are
+    rejected outright)."""
+    current_ids = {s.node_id for s in current_senders}
+    return [
+        c
+        for c in candidates
+        if c.node_id != receiver.node_id
+        and c.node_id not in current_ids
+        and (c.is_source or len(c.working_set) > 0)
+    ]
+
+
 class UtilityRewiring:
     """Drop the least-useful sender when a clearly better candidate exists.
 
-    Utility is the sketched usefulness estimate; a swap happens only when
+    Utility is the scheme's usefulness estimate; a swap happens only when
     the best candidate beats the worst current sender by ``hysteresis``
     (avoiding the oscillation the paper's "frequent reconnections" warn
-    about).  Returns (senders_to_drop, senders_to_add).
+    about).  Returns (senders_to_drop, senders_to_add).  Sources are
+    never dropped: their utility is the 1.0 maximum, which no candidate
+    can exceed by any non-negative hysteresis.
     """
 
     def __init__(
         self,
-        family: PermutationFamily,
+        scheme: Union[SummaryScheme, PermutationFamily],
         hysteresis: float = 0.1,
         rng: Optional[random.Random] = None,
     ):
         if hysteresis < 0:
             raise ValueError("hysteresis must be non-negative")
-        self.family = family
+        self.scheme = SummaryScheme.coerce(scheme)
         self.hysteresis = hysteresis
         self.rng = rng if rng is not None else default_rng("overlay.reconfiguration")
 
@@ -86,18 +233,12 @@ class UtilityRewiring:
         current_senders: List[OverlayNode],
         candidates: List[OverlayNode],
     ) -> Tuple[List[OverlayNode], List[OverlayNode]]:
-        usable = [
-            c
-            for c in candidates
-            if c.node_id != receiver.node_id
-            and c.node_id not in {s.node_id for s in current_senders}
-            and (c.is_source or len(c.working_set) > 0)
-        ]
+        usable = _usable_candidates(receiver, current_senders, candidates)
         if not usable:
             return [], []
 
         def utility(node: OverlayNode) -> float:
-            return receiver.estimated_usefulness_of(node, self.family)
+            return self.scheme.usefulness(receiver, node)
 
         # Fill empty slots first.
         free_slots = receiver.max_connections - len(current_senders)
@@ -114,3 +255,33 @@ class UtilityRewiring:
         if utility(best) > utility(worst) + self.hysteresis:
             return [worst], [best]
         return [], []
+
+
+class RandomRewiring:
+    """The uninformed baseline: swap a random sender for a random peer.
+
+    Fills free slots with uniformly drawn candidates; at capacity, drops
+    one uniformly chosen non-source sender for one uniformly chosen
+    candidate.  No summaries are consulted — this is the control arm the
+    paper's informed policies are measured against.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng if rng is not None else default_rng("overlay.reconfiguration")
+
+    def rewire(
+        self,
+        receiver: OverlayNode,
+        current_senders: List[OverlayNode],
+        candidates: List[OverlayNode],
+    ) -> Tuple[List[OverlayNode], List[OverlayNode]]:
+        usable = _usable_candidates(receiver, current_senders, candidates)
+        if not usable:
+            return [], []
+        free_slots = receiver.max_connections - len(current_senders)
+        if free_slots > 0:
+            return [], self.rng.sample(usable, min(free_slots, len(usable)))
+        droppable = [s for s in current_senders if not s.is_source]
+        if not droppable:
+            return [], []
+        return [self.rng.choice(droppable)], [self.rng.choice(usable)]

@@ -1,21 +1,33 @@
 """Canned overlay scenarios, including the paper's Figure 1.
 
-Figure 1: source S with full content; A and B each hold a different 50%
-of the total; C, D, E each hold 25%, with C and D disjoint.  The figure
-contrasts (a) the bare multicast tree, (b) parallel downloads, and (c)
-collaborative "perpendicular" transfers — :func:`figure1_scenario`
-builds the node set so all three can be simulated.
+.. deprecated::
+    The scenario constructors in this module are thin shims over the
+    declarative experiment API.  New code should build specs and run
+    them through one pipeline::
+
+        from repro.api import specs, run
+
+        result = run(specs.figure1(target=400, seed=5))
+        result = run(specs.random_overlay(num_peers=12, seed=17))
+
+    The shims remain so existing callers (benchmarks, examples, older
+    notebooks) keep working: each builds the equivalent
+    :class:`~repro.api.ExperimentSpec`, interprets it through the
+    registry, and returns the same :class:`ScenarioBundle` as before —
+    RNG-order-identical construction, pinned by the shim-parity tests.
+
+The catalog itself (Figure 1's captioned layout, the randomised
+adaptive overlay) now lives in :mod:`repro.api.builders`.
 """
 
-import random
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.hashing.permutations import PermutationFamily
 from repro.overlay.node import OverlayNode
-from repro.overlay.reconfiguration import SketchAdmission, UtilityRewiring
 from repro.overlay.simulator import OverlaySimulator
-from repro.overlay.topology import PhysicalNetwork, VirtualTopology
+
 
 #: Shared sketch family for overlay scenarios (peers agree off-line).
 def default_family(seed: int = 99, entries: int = 128) -> PermutationFamily:
@@ -32,59 +44,43 @@ class ScenarioBundle:
     target: int
 
 
+def _deprecated_shim(name: str) -> None:
+    warnings.warn(
+        f"repro.overlay.scenarios.{name}() is deprecated; build an "
+        f"ExperimentSpec (repro.api.specs.{name.replace('_scenario', '')}) "
+        f"and use repro.api.run()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _bundle(spec) -> ScenarioBundle:
+    """Interpret a spec and repackage it as the legacy bundle."""
+    from repro.api import build
+
+    scenario_obj = build(spec).scenario
+    sim = scenario_obj.simulator
+    return ScenarioBundle(sim, dict(sim.nodes), scenario_obj.target)
+
+
 def figure1_scenario(
     target: int = 400,
     seed: int = 5,
     with_perpendicular: bool = True,
     strategy_name: str = "Recode/BF",
 ) -> ScenarioBundle:
-    """The paper's Figure 1 topology with working sets as captioned.
+    """Deprecated shim for :func:`repro.api.builders.figure1`."""
+    _deprecated_shim("figure1_scenario")
+    from repro.api import specs
 
-    Working sets: S full; A, B different halves; C, D, E quarters with
-    C and D disjoint.  The initial tree is S->A, S->B, A->C, A->D, B->E
-    (matching Figure 1(a)); with ``with_perpendicular`` the collaborative
-    edges of Figure 1(c) are added, subject to sketch admission.
-    """
-    rng = random.Random(seed)
-    distinct = list(range(target))
-    rng.shuffle(distinct)
-    half = target // 2
-    quarter = target // 4
-    sets = {
-        "A": distinct[:half],
-        "B": distinct[half:],
-        "C": distinct[:quarter],
-        "D": distinct[quarter : 2 * quarter],  # disjoint from C
-        "E": distinct[half : half + quarter],
-    }
-    family = default_family()
-    topo = VirtualTopology()
-    sim = OverlaySimulator(
-        topo,
-        family,
-        admission=SketchAdmission(family),
-        rewiring=None,
-        strategy_name=strategy_name,
-        rng=rng,
+    return _bundle(
+        specs.figure1(
+            target=target,
+            seed=seed,
+            with_perpendicular=with_perpendicular,
+            strategy_name=strategy_name,
+        )
     )
-    nodes = {"S": OverlayNode("S", target, is_source=True)}
-    for name, ids in sets.items():
-        nodes[name] = OverlayNode(name, target, initial_ids=ids)
-    for node in nodes.values():
-        sim.add_node(node)
-    # Figure 1(a): the initial multicast tree.
-    for parent, child in (("S", "A"), ("S", "B"), ("A", "C"), ("A", "D"), ("B", "E")):
-        sim.connect(parent, child)
-    if with_perpendicular:
-        # Figure 1(c/d): collaborative transfers between complementary
-        # working sets (the legend's beneficial exchanges).
-        for sender, receiver in (
-            ("B", "A"), ("A", "B"),
-            ("C", "D"), ("D", "C"),
-            ("B", "C"), ("D", "E"), ("E", "D"), ("C", "E"),
-        ):
-            sim.connect(sender, receiver)
-    return ScenarioBundle(sim, nodes, target)
 
 
 def random_overlay_scenario(
@@ -97,58 +93,20 @@ def random_overlay_scenario(
     strategy_name: str = "Recode/BF",
     with_physical: bool = True,
 ) -> ScenarioBundle:
-    """A randomised adaptive overlay: sources plus partially seeded peers.
+    """Deprecated shim for :func:`repro.api.builders.random_overlay`."""
+    _deprecated_shim("random_overlay_scenario")
+    from repro.api import specs
 
-    Peers start with random slices of the symbol space sized uniformly in
-    ``initial_fraction``; the simulator is configured with sketch-based
-    admission *and* utility rewiring, so peerings adapt as working sets
-    evolve — the Section 2 environment.
-    """
-    rng = random.Random(seed)
-    family = default_family()
-    physical = None
-    if with_physical:
-        physical = PhysicalNetwork.random_network(
-            num_routers=max(4, num_peers // 2), seed=seed
+    return _bundle(
+        specs.random_overlay(
+            num_peers=num_peers,
+            target=target,
+            num_sources=num_sources,
+            initial_fraction_lo=initial_fraction[0],
+            initial_fraction_hi=initial_fraction[1],
+            max_connections=max_connections,
+            seed=seed,
+            strategy_name=strategy_name,
+            with_physical=with_physical,
         )
-    topo = VirtualTopology(physical)
-    sim = OverlaySimulator(
-        topo,
-        family,
-        admission=SketchAdmission(family),
-        rewiring=UtilityRewiring(family, rng=rng),
-        strategy_name=strategy_name,
-        rng=rng,
     )
-    nodes: Dict[str, OverlayNode] = {}
-    routers = physical.routers() if physical is not None else []
-    distinct = int(target * 1.2)
-    for i in range(num_sources):
-        node = OverlayNode(
-            f"src{i}", target, is_source=True,
-            fresh_id_start=(1 << 40) + i * (1 << 20),
-        )
-        nodes[node.node_id] = node
-    for i in range(num_peers):
-        frac = rng.uniform(*initial_fraction)
-        count = int(frac * target)
-        ids = rng.sample(range(distinct), count) if count else []
-        nodes[f"p{i}"] = OverlayNode(
-            f"p{i}", target, initial_ids=ids, max_connections=max_connections
-        )
-    for node in nodes.values():
-        if physical is not None and routers:
-            physical.attach_host(
-                node.node_id,
-                rng.choice(routers),
-                bandwidth=rng.uniform(2.0, 6.0),
-                loss_rate=rng.uniform(0.0, 0.01),
-            )
-        sim.add_node(node)
-    # Seed the overlay: every peer connects to a source, then rewiring
-    # discovers perpendicular bandwidth on its own.
-    source_ids = [n.node_id for n in nodes.values() if n.is_source]
-    for node in nodes.values():
-        if not node.is_source:
-            sim.connect(rng.choice(source_ids), node.node_id)
-    return ScenarioBundle(sim, nodes, target)

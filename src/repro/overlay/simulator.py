@@ -142,6 +142,11 @@ class SimulationReport:
     packets_lost: int
     packets_useful: int
     reconfigurations: int
+    #: Reconfiguration epochs executed (0 when no rewiring policy ran).
+    reconfig_epochs: int = 0
+    #: Honest control-plane cost of the epochs: every candidate card a
+    #: receiver scanned, priced at the summary's own ``wire_bytes``.
+    control_bytes: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -162,7 +167,18 @@ class OverlaySimulator:
             the per-connection strategies reconcile through; ``None``
             keeps the hardcoded min-wise/Bloom structures bit-identically.
         reconfigure_every / refresh_every: control-plane periods, in
-            ticks.
+            ticks.  Reconfiguration epochs are their own periodic event
+            on the shared scheduler (so they compose with churn,
+            scenario events, and ``remove_node``), scheduled right
+            after the delivery event at each epoch boundary — order-
+            identical to the historical end-of-tick pass.
+        reconfig_jitter: each epoch's rewiring pass is deferred by a
+            uniform draw in ``[0, jitter)`` simulated time units (0 =
+            fire exactly on the boundary, the deterministic legacy
+            cadence).
+        reconfig_budget: candidate-scan budget per receiver per epoch
+            (0 = scan every node); budgeted epochs sample the candidate
+            list from the simulator RNG.
         rng: the single randomness source — seeded runs replay exactly.
         link_factory: builds a :class:`LinkModel` per connection from
             its path characteristics; defaults to a constant-rate link
@@ -183,11 +199,17 @@ class OverlaySimulator:
         summary_policy=None,
         reconfigure_every: int = 20,
         refresh_every: int = 20,
+        reconfig_jitter: float = 0.0,
+        reconfig_budget: int = 0,
         rng: Optional[random.Random] = None,
         link_factory: Optional[LinkFactory] = None,
         stats: Optional[StatsRecorder] = None,
         scheduler: Optional[EventScheduler] = None,
     ):
+        if reconfig_jitter < 0:
+            raise ValueError("reconfig_jitter must be non-negative")
+        if reconfig_budget < 0:
+            raise ValueError("reconfig_budget must be non-negative")
         self.topology = topology
         self.family = sketch_family
         self.admission = admission
@@ -196,6 +218,8 @@ class OverlaySimulator:
         self.summary_policy = summary_policy
         self.reconfigure_every = reconfigure_every
         self.refresh_every = refresh_every
+        self.reconfig_jitter = reconfig_jitter
+        self.reconfig_budget = reconfig_budget
         self.rng = rng if rng is not None else default_rng("overlay.simulator")
         self.link_factory = link_factory
         self.stats = stats
@@ -205,12 +229,25 @@ class OverlaySimulator:
         self._peelers: Dict[str, RecodedPeeler] = {}
         self.tick_count = 0
         self.reconfigurations = 0
+        self.reconfig_epochs = 0
+        self.control_bytes = 0
         # The legacy tick loop as one periodic event; a shared clock
         # may already read past zero, so ticks count from its epoch.
         self._epoch = self.scheduler.now
         self._tick_handle = self.scheduler.schedule_every(
             1.0, self._on_tick, first=self._epoch + 1.0
         )
+        # Reconfiguration epochs ride the same heap.  Scheduled *after*
+        # the tick handle, an epoch boundary that coincides with a tick
+        # fires right after that tick's delivery pass (FIFO at equal
+        # times) — exactly where the historical end-of-tick pass ran.
+        self._reconfig_handle = None
+        if self.reconfigure_every and self.reconfigure_every > 0:
+            self._reconfig_handle = self.scheduler.schedule_every(
+                float(self.reconfigure_every),
+                self._on_reconfig_epoch,
+                first=self._epoch + float(self.reconfigure_every),
+            )
 
     # -- membership ----------------------------------------------------------
 
@@ -319,11 +356,6 @@ class OverlaySimulator:
                     break
         if self.refresh_every and self.tick_count % self.refresh_every == 0:
             self._refresh_strategies()
-        if (
-            self.rewiring is not None
-            and self.tick_count % self.reconfigure_every == 0
-        ):
-            self._reconfigure()
 
     def run(self, max_ticks: int = 10_000) -> SimulationReport:
         """Tick until every non-source node completes (or the cap hits).
@@ -352,6 +384,8 @@ class OverlaySimulator:
             packets_lost=sum(c.packets_lost for c in self.connections.values()),
             packets_useful=sum(c.packets_useful for c in self.connections.values()),
             reconfigurations=self.reconfigurations,
+            reconfig_epochs=self.reconfig_epochs,
+            control_bytes=self.control_bytes,
         )
 
     # -- internals -------------------------------------------------------------------
@@ -432,9 +466,37 @@ class OverlaySimulator:
             receiver.receive_symbol(symbol_id)
         return bool(recovered)
 
+    def _on_reconfig_epoch(self) -> None:
+        """One epoch boundary: run (or jitter-defer) the rewiring pass."""
+        if self.rewiring is None:
+            return  # no policy installed (yet) — boundaries are free
+        # A tick due at this exact timestamp must deliver first (the
+        # historical end-of-tick ordering).  The periodic epoch handle
+        # keeps its construction-time heap sequence until it fires, so
+        # it can pop ahead of the tick; requeueing at the same time
+        # takes a fresh sequence number and lands behind it.
+        if self.tick_count < math.floor(self.scheduler.now - self._epoch + 1e-9):
+            self.scheduler.schedule(0.0, self._start_epoch)
+            return
+        self._start_epoch()
+
+    def _start_epoch(self) -> None:
+        if self.rewiring is None:
+            return
+        if self.reconfig_jitter > 0:
+            delay = self.rng.uniform(0.0, self.reconfig_jitter)
+            if delay > 0.0:
+                self.scheduler.schedule(delay, self._reconfigure)
+                return
+        self._reconfigure()
+
     def _reconfigure(self) -> None:
-        assert self.rewiring is not None
+        if self.rewiring is None:
+            return  # policy removed between scheduling and firing
+        self.reconfig_epochs += 1
+        scheme = getattr(self.rewiring, "scheme", None)
         all_nodes = list(self.nodes.values())
+        budget = self.reconfig_budget
         for receiver in all_nodes:
             if receiver.is_source or receiver.is_complete:
                 continue
@@ -443,7 +505,22 @@ class OverlaySimulator:
                 for s in self.topology.senders_of(receiver.node_id)
                 if s in self.nodes
             ]
-            drops, adds = self.rewiring.rewire(receiver, current, all_nodes)
+            candidates = all_nodes
+            if budget and budget < len(all_nodes):
+                candidates = self.rng.sample(all_nodes, budget)
+            if scheme is not None:
+                # Each scanned candidate's card crosses the wire once
+                # per receiver per epoch — the control traffic an
+                # informed policy actually costs.
+                for c in candidates:
+                    if (
+                        c.node_id == receiver.node_id
+                        or c.is_source
+                        or len(c.working_set) == 0
+                    ):
+                        continue
+                    self.control_bytes += scheme.card_wire_bytes(c)
+            drops, adds = self.rewiring.rewire(receiver, current, candidates)
             for d in drops:
                 self.disconnect(d.node_id, receiver.node_id)
             for a in adds:

@@ -13,7 +13,7 @@ from repro.delivery import (
     make_strategy,
     simulate_p2p_transfer,
 )
-from repro.overlay import figure1_scenario, random_overlay_scenario
+from repro.api import build, specs
 from repro.protocol import CodeParameters, ProtocolPeer, TransferSession
 
 
@@ -71,12 +71,12 @@ class TestOverlayWithRealCoding:
     def test_overlay_completion_enables_decode(self):
         """Symbols collected through the overlay actually decode a file."""
         target = 150
-        bundle = figure1_scenario(target=target, seed=3)
-        report = bundle.simulator.run(max_ticks=3000)
+        scenario = build(specs.figure1(target=target, seed=3)).scenario
+        report = scenario.simulator.run(max_ticks=3000)
         assert report.all_complete
         # Reconstruct: node C's ids map to encoder symbols; with >= target
         # distinct symbols the file decodes (Gaussian fallback allowed).
-        node_c = bundle.nodes["C"]
+        node_c = scenario.simulator.nodes["C"]
         enc = LTEncoder(120, stream_seed=5)
         dec = PeelingDecoder(120, track_payloads=False)
         usable = [i for i in node_c.working_set.ids]
@@ -87,7 +87,7 @@ class TestOverlayWithRealCoding:
         assert dec.recovered_count == 120
 
     def test_adaptive_overlay_beats_static_eventually(self):
-        adaptive = random_overlay_scenario(num_peers=6, target=120, seed=11)
+        adaptive = build(specs.random_overlay(num_peers=6, target=120, seed=11)).scenario
         rep = adaptive.simulator.run(max_ticks=2500)
         assert rep.all_complete
 

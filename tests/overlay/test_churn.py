@@ -4,15 +4,19 @@ import random
 
 import pytest
 
+from repro.api import build, specs
 from repro.overlay import (
     ChurnProcess,
     OverlayNode,
     OverlaySimulator,
     VirtualTopology,
-    random_overlay_scenario,
     run_with_churn,
 )
 from repro.overlay.scenarios import default_family
+
+
+def _random_overlay_sim(**kwargs):
+    return build(specs.random_overlay(**kwargs)).scenario.simulator
 
 
 def small_sim(seed=1, target=80, peers=4):
@@ -95,27 +99,27 @@ class TestRunWithChurn:
         assert churn.log.departures
 
     def test_adaptive_scenario_with_churn_and_rewiring(self):
-        bundle = random_overlay_scenario(
+        sim = _random_overlay_sim(
             num_peers=6, target=100, seed=12, with_physical=False
         )
         churn = ChurnProcess(
-            bundle.simulator,
+            sim,
             leave_probability=0.05,
             rejoin_after=20,
             rng=random.Random(13),
         )
-        report = run_with_churn(bundle.simulator, churn, max_ticks=5_000)
+        report = run_with_churn(sim, churn, max_ticks=5_000)
         assert report.all_complete
 
     def test_link_degradation_triggers_reroute(self):
-        bundle = random_overlay_scenario(
+        sim = _random_overlay_sim(
             num_peers=5, target=80, seed=14, with_physical=True
         )
         churn = ChurnProcess(
-            bundle.simulator,
+            sim,
             leave_probability=0.0,
             degrade_probability=1.0,
             rng=random.Random(15),
         )
-        run_with_churn(bundle.simulator, churn, max_ticks=2_000, churn_every=3)
+        run_with_churn(sim, churn, max_ticks=2_000, churn_every=3)
         assert churn.log.link_degradations

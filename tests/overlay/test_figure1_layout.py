@@ -1,13 +1,29 @@
 """The Figure 1 scenario must match the paper's caption exactly."""
 
+from dataclasses import dataclass
+from typing import Dict
+
 import pytest
 
-from repro.overlay import figure1_scenario
+from repro.api import build, specs
+
+
+@dataclass
+class _Bundle:
+    simulator: object
+    nodes: Dict[str, object]
+    target: int
+
+
+def _figure1_bundle(**kwargs) -> _Bundle:
+    scenario = build(specs.figure1(**kwargs)).scenario
+    sim = scenario.simulator
+    return _Bundle(sim, dict(sim.nodes), scenario.target)
 
 
 @pytest.fixture(scope="module")
 def bundle():
-    return figure1_scenario(target=400, seed=9)
+    return _figure1_bundle(target=400, seed=9)
 
 
 class TestFigure1Caption:
@@ -44,7 +60,7 @@ class TestFigure1Caption:
         assert e <= b
 
     def test_tree_edges_match_figure(self):
-        bundle = figure1_scenario(target=200, seed=1, with_perpendicular=False)
+        bundle = _figure1_bundle(target=200, seed=1, with_perpendicular=False)
         edges = set(bundle.simulator.topology.connections())
         assert edges == {("S", "A"), ("S", "B"), ("A", "C"), ("A", "D"), ("B", "E")}
 

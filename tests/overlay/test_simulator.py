@@ -4,16 +4,23 @@ import random
 
 import pytest
 
+from repro.api import build, specs
 from repro.overlay import (
     OverlayNode,
     OverlaySimulator,
     SketchAdmission,
     UtilityRewiring,
     VirtualTopology,
-    figure1_scenario,
-    random_overlay_scenario,
 )
 from repro.overlay.scenarios import default_family
+
+
+def _figure1_sim(**kwargs):
+    return build(specs.figure1(**kwargs)).scenario.simulator
+
+
+def _random_overlay_sim(**kwargs):
+    return build(specs.random_overlay(**kwargs)).scenario.simulator
 
 
 class TestOverlayNode:
@@ -146,20 +153,20 @@ class TestSimulator:
         assert not sim.connect("a", "b")  # identical content rejected
 
     def test_figure1_collaboration_beats_tree(self):
-        collab = figure1_scenario(target=200).simulator.run(max_ticks=2000)
-        tree = figure1_scenario(
-            target=200, with_perpendicular=False
-        ).simulator.run(max_ticks=2000)
+        collab = _figure1_sim(target=200).run(max_ticks=2000)
+        tree = _figure1_sim(target=200, with_perpendicular=False).run(
+            max_ticks=2000
+        )
         assert collab.all_complete and tree.all_complete
         assert collab.ticks < tree.ticks  # the paper's Figure 1 argument
 
     def test_random_overlay_completes_with_rewiring(self):
-        bundle = random_overlay_scenario(num_peers=6, target=150, seed=8)
-        report = bundle.simulator.run(max_ticks=2000)
+        report = _random_overlay_sim(num_peers=6, target=150, seed=8).run(
+            max_ticks=2000
+        )
         assert report.all_complete
         assert report.reconfigurations > 0  # adaptation actually happened
 
     def test_report_efficiency_bounds(self):
-        bundle = figure1_scenario(target=150)
-        report = bundle.simulator.run(max_ticks=2000)
+        report = _figure1_sim(target=150).run(max_ticks=2000)
         assert 0.0 <= report.efficiency <= 1.0

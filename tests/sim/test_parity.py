@@ -11,7 +11,7 @@ drift in RNG consumption order, credit arithmetic, or connection
 iteration order trips this test.
 """
 
-from repro.overlay import random_overlay_scenario
+from repro.api import build, specs
 
 #: (scenario kwargs, legacy-engine metrics) recorded on the seed commit.
 PINNED = [
@@ -25,17 +25,22 @@ PINNED = [
             target=250,
             num_sources=1,
             seed=7,
-            initial_fraction=(0.0, 0.3),
+            initial_fraction_lo=0.0,
+            initial_fraction_hi=0.3,
         ),
         dict(ticks=64, sent=4243, lost=64, useful=2074, reconf=37),
     ),
 ]
 
 
+def _simulator(**kwargs):
+    return build(specs.random_overlay(**kwargs)).scenario.simulator
+
+
 class TestTickParity:
     def test_event_engine_matches_legacy_metrics(self):
         for kwargs, want in PINNED:
-            report = random_overlay_scenario(**kwargs).simulator.run(max_ticks=3000)
+            report = _simulator(**kwargs).run(max_ticks=3000)
             got = dict(
                 ticks=report.ticks,
                 sent=report.packets_sent,
@@ -49,8 +54,7 @@ class TestTickParity:
     def test_tick_clock_alignment(self):
         # The scheduler clock and the tick counter stay in lock step
         # when only the periodic delivery event is scheduled.
-        bundle = random_overlay_scenario(num_peers=4, target=60, seed=3)
-        sim = bundle.simulator
+        sim = _simulator(num_peers=4, target=60, seed=3)
         for _ in range(5):
             sim.tick()
         assert sim.tick_count == 5
@@ -58,8 +62,7 @@ class TestTickParity:
 
     def test_rerun_is_deterministic(self):
         runs = [
-            random_overlay_scenario(num_peers=8, target=80, seed=19)
-            .simulator.run(max_ticks=2000)
+            _simulator(num_peers=8, target=80, seed=19).run(max_ticks=2000)
             for _ in range(2)
         ]
         assert runs[0].packets_sent == runs[1].packets_sent
