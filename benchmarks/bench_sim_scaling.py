@@ -1,16 +1,30 @@
-"""Event-engine scaling: flash-crowd swarms from 32 to 256 nodes.
+"""Event-engine scaling: flash crowds to 256 nodes, swarms to 10k.
 
 Not a paper figure — this benchmarks the `repro.sim` substrate the
 scenario library runs on: how delivery throughput and wall time scale
 with swarm size when demand arrives in waves and every joiner runs the
 sketch-orchestrated join decision.  The 256-node point doubles as the
 acceptance run for the event clock (a full flash crowd end-to-end).
+
+The engine-scaling benches compare ``MeasurementSpec.engine`` choices
+on an adaptive-overlay-style workload (informed rewiring every 5
+ticks, uninformed ``Random`` senders — the adaptive_overlay scenario's
+own defaults, which isolate the peering axis).  The 1k point runs in
+the CI bench baseline and emits ``repro.bench_meta/1`` entries via
+``REPRO_BENCH_JSON``; the 10k columnar point is marked ``slow``
+(``--runslow``) and pins the headline claim: per node-tick, the
+columnar engine at 10k nodes is >= 10x faster than the reference
+engine at 1k.  At 10k the full candidate scan is the dominant cost in
+*either* engine, so the 10k run sets ``reconfig.scan_budget`` — see
+README "Scaling up".
 """
 
 import time
 
-from conftest import print_series
+import pytest
+from conftest import print_series, write_bench_json
 
+from repro.api import build, specs
 from repro.sim.scenarios import flash_crowd
 
 
@@ -94,3 +108,129 @@ def test_scenario_catalog_under_event_clock(benchmark):
     ]
     print_series("scenario catalog", rows)
     assert all(r.all_complete for r in results.values())
+
+
+# -- engine scaling: reference vs columnar ---------------------------------
+
+ADAPTIVE_TICKS = 10  # two 5-tick reconfiguration epochs per window
+
+
+def _adaptive_style_sim(engine, num_peers, scan_budget=0):
+    """An adaptive_overlay-style swarm: informed rewiring, Random senders."""
+    spec = (
+        specs.random_overlay(
+            num_peers=num_peers, target=100, seed=0, with_physical=False
+        )
+        .with_override("strategy.name", "Random")
+        .with_override("reconfig.policy", "informed")
+        .with_override("reconfig.interval", 5.0)
+        .with_override("measurement.engine", engine)
+    )
+    if scan_budget:
+        spec = spec.with_override("reconfig.scan_budget", scan_budget)
+    return build(spec).scenario.simulator
+
+
+def _timed_window(engine, num_peers, ticks=ADAPTIVE_TICKS, scan_budget=0):
+    sim = _adaptive_style_sim(engine, num_peers, scan_budget)
+    t0 = time.perf_counter()
+    for _ in range(ticks):
+        sim.tick()
+    wall = time.perf_counter() - t0
+    return wall, sim.report()
+
+
+def _meta_entry(engine, num_peers, ticks, wall, report, scan_budget=0):
+    return {
+        "schema": "repro.bench_meta/1",
+        "name": f"sim_scaling_{engine}_{num_peers}",
+        "engine": engine,
+        "peers": num_peers,
+        "ticks": ticks,
+        "scan_budget": scan_budget,
+        "packets_sent": report.packets_sent,
+        "us_per_node_tick": wall / ticks / num_peers * 1e6,
+        "wall_seconds": wall,
+    }
+
+
+def test_engine_scaling_1k(benchmark):
+    """CI point: both engines at 1k nodes, identical totals, columnar faster.
+
+    Full candidate scans (the informed default) on both sides — the
+    exact workload where the columnar card matrix pays off.
+    """
+    rows, entries, walls = [], [], {}
+
+    def sweep():
+        rows.clear(), entries.clear()
+        for engine, n in (
+            ("columnar", 250),
+            ("columnar", 1000),
+            ("reference", 1000),
+        ):
+            wall, report = _timed_window(engine, n)
+            walls[(engine, n)] = (wall, report)
+            entries.append(_meta_entry(engine, n, ADAPTIVE_TICKS, wall, report))
+            rows.append(
+                f"{engine:9s} peers={n:5d}  sent={report.packets_sent:7d}  "
+                f"us/node-tick={wall / ADAPTIVE_TICKS / n * 1e6:7.1f}  "
+                f"wall={wall:5.2f}s"
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("engine scaling, adaptive-style 1k (full scan)", rows)
+    write_bench_json("sim_scaling", entries)
+
+    ref_wall, ref_report = walls[("reference", 1000)]
+    col_wall, col_report = walls[("columnar", 1000)]
+    # Parity at scale: the engines must agree packet for packet...
+    assert (
+        col_report.packets_sent,
+        col_report.packets_lost,
+        col_report.packets_useful,
+    ) == (
+        ref_report.packets_sent,
+        ref_report.packets_lost,
+        ref_report.packets_useful,
+    )
+    # ...and the columnar engine must actually be the fast one.
+    assert col_wall < ref_wall
+
+
+@pytest.mark.slow
+def test_columnar_10k_adaptive(benchmark):
+    """Acceptance: columnar at 10k >= 10x faster per node-tick than
+    the reference at 1k (both on the adaptive-style workload).
+
+    The 10k run uses ``reconfig.scan_budget`` — at that size a full
+    scan is quadratic in either engine and is exactly what the budget
+    knob exists for.
+    """
+    results = {}
+
+    def sweep():
+        results["ref_1k"] = _timed_window("reference", 1000)
+        results["col_10k"] = _timed_window(
+            "columnar", 10_000, scan_budget=32
+        )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ref_wall, ref_report = results["ref_1k"]
+    col_wall, col_report = results["col_10k"]
+    ref_unit = ref_wall / ADAPTIVE_TICKS / 1000 * 1e6
+    col_unit = col_wall / ADAPTIVE_TICKS / 10_000 * 1e6
+    print_series(
+        "columnar 10k acceptance (adaptive-style)",
+        [
+            f"reference  1k: wall={ref_wall:6.2f}s  "
+            f"us/node-tick={ref_unit:7.1f}  sent={ref_report.packets_sent}",
+            f"columnar  10k: wall={col_wall:6.2f}s  "
+            f"us/node-tick={col_unit:7.1f}  sent={col_report.packets_sent}",
+            f"per-node-tick speedup: {ref_unit / col_unit:.1f}x",
+        ],
+    )
+    assert col_report.packets_sent > 0
+    assert ref_unit / col_unit >= 10.0

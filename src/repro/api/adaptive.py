@@ -25,9 +25,13 @@ let receivers "immediately reject candidate senders whose content is
 identical to their own").
 
 Packet accounting is cumulative over every connection that ever
-existed (via a :class:`~repro.sim.stats.StatsRecorder`), not just the
-live set, so an arm cannot improve its reported efficiency by
-discarding connections along with their redundant history.  Each arm
+existed — :class:`~repro.overlay.simulator.SimulationReport` counters
+are simulator-owned running totals, so an arm cannot improve its
+reported efficiency by discarding connections along with their
+redundant history.  (This scenario originally reconstructed cumulative
+totals from a :class:`~repro.sim.stats.StatsRecorder` to work around
+the report summing live connections only; the report itself is honest
+now.)  Each arm
 reports completion time, useful-symbol fraction, rewiring count, and
 the control bytes its summary cards actually cost on the wire; the
 headline ``informed_useful_gain`` metric is the informed arm's
@@ -47,6 +51,7 @@ from repro.api.builders import (
     _require_swarm,
     _seeded_count,
     _source_group,
+    simulator_class,
 )
 from repro.api.registry import scenario
 from repro.api.result import RunResult
@@ -142,14 +147,14 @@ def adaptive_overlay(
     return spec
 
 
-def _build_arm(spec: ExperimentSpec, arm: str):
-    """One arm's simulator + its cumulative packet accounting.
+def _build_arm(spec: ExperimentSpec, arm: str) -> OverlaySimulator:
+    """One arm's ready-to-run simulator.
 
     Every arm draws the identical construction stream (same mirror
     slices, same wave schedule); runs diverge only through the
     policies' own behaviour — the controlled comparison the paper's
-    argument needs.  The returned :class:`StatsRecorder` keeps the
-    per-connection counters that survive disconnects.
+    argument needs.  Packet accounting rides the simulator's own
+    cumulative totals, so no side recorder is needed.
     """
     swarm = _require_swarm(spec)
     src_name = _source_group(swarm).member_ids()[0]
@@ -160,15 +165,13 @@ def _build_arm(spec: ExperimentSpec, arm: str):
 
     rng = random.Random(derive_seed(spec.seed, "adaptive_overlay"))
     admission, rewiring = _reconfig_policies(spec, rng, policy=arm)
-    stats = StatsRecorder(resolution=spec.measurement.resolution)
-    sim = OverlaySimulator(
+    sim = simulator_class(spec)(
         VirtualTopology(),
         default_family(),
         admission=admission,
         rewiring=rewiring,
         strategy_name=spec.strategy.name,
         rng=rng,
-        stats=stats,
         **_reconfig_sim_kwargs(spec, swarm),
     )
     sim.add_node(OverlayNode(src_name, target, is_source=True))
@@ -222,23 +225,7 @@ def _build_arm(spec: ExperimentSpec, arm: str):
                 sim.scheduler.schedule_at(
                     (w + 1) * float(churn.wave_interval) + 0.5, make_wave(batch)
                 )
-    return sim, stats
-
-
-def _cumulative_totals(stats: StatsRecorder) -> Dict[str, float]:
-    """sent/lost/useful summed over every connection that ever existed."""
-    totals = {"sent": 0.0, "lost": 0.0, "useful": 0.0}
-    for entity in stats.entities():
-        if "->" not in entity:
-            continue
-        for metric in totals:
-            totals[metric] += stats.total(entity, metric)
-    return totals
-
-
-def _useful_fraction(totals: Dict[str, float]) -> float:
-    delivered = totals["sent"] - totals["lost"]
-    return totals["useful"] / delivered if delivered else 0.0
+    return sim
 
 
 @scenario(
@@ -282,13 +269,12 @@ def build_adaptive_overlay(spec: ExperimentSpec) -> BuiltExperiment:
             else None
         )
         for arm in ARMS:
-            sim, stats = _build_arm(spec, arm)
+            sim = _build_arm(spec, arm)
             report = sim.run(max_ticks=spec.measurement.max_ticks)
             reports[arm] = report
-            totals = _cumulative_totals(stats)
-            fraction = _useful_fraction(totals)
+            fraction = report.efficiency
             metrics[f"ticks[{arm}]"] = float(report.ticks)
-            metrics[f"packets_sent[{arm}]"] = totals["sent"]
+            metrics[f"packets_sent[{arm}]"] = float(report.packets_sent)
             metrics[f"useful_fraction[{arm}]"] = fraction
             metrics[f"reconfigurations[{arm}]"] = float(report.reconfigurations)
             metrics[f"control_bytes[{arm}]"] = float(report.control_bytes)

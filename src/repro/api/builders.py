@@ -221,6 +221,20 @@ def _reject_reconfig(spec: ExperimentSpec) -> None:
         )
 
 
+def simulator_class(spec: ExperimentSpec):
+    """The engine class ``spec.measurement.engine`` selects.
+
+    ``"reference"`` is the event-faithful default; ``"columnar"`` is
+    the batched large-swarm engine, seeded-metric-identical (the parity
+    suite pins it) but built for 1k-10k node runs.
+    """
+    if spec.measurement.engine == "columnar":
+        from repro.overlay.columnar import ColumnarOverlaySimulator
+
+        return ColumnarOverlaySimulator
+    return OverlaySimulator
+
+
 def _base_simulator(
     spec: ExperimentSpec,
     rng: random.Random,
@@ -235,7 +249,7 @@ def _base_simulator(
         else None
     )
     admission, rewiring = _reconfig_policies(spec, rng)
-    sim = OverlaySimulator(
+    sim = simulator_class(spec)(
         VirtualTopology(),
         family,
         admission=admission,
@@ -1386,7 +1400,7 @@ def build_figure1(spec: ExperimentSpec) -> BuiltExperiment:
         admission, rewiring = SketchAdmission(family), None
     else:
         admission, rewiring = _reconfig_policies(spec, rng)
-    sim = OverlaySimulator(
+    sim = simulator_class(spec)(
         VirtualTopology(),
         family,
         admission=admission,
@@ -1495,7 +1509,7 @@ def build_random_overlay(spec: ExperimentSpec) -> BuiltExperiment:
         else None
     )
     admission, rewiring = _reconfig_policies(spec, rng)
-    sim = OverlaySimulator(
+    sim = simulator_class(spec)(
         VirtualTopology(physical),
         family,
         admission=admission,
@@ -1555,4 +1569,5 @@ __all__ = [
     "figure1",
     "random_overlay",
     "reconfig_scheme",
+    "simulator_class",
 ]

@@ -35,6 +35,9 @@ NODE_ROLES = ("peer", "source")
 #: Reconfiguration policy kinds a :class:`ReconfigSpec` may name.
 RECONFIG_POLICIES = ("informed", "random", "static")
 
+#: Swarm execution engines a :class:`MeasurementSpec` may select.
+ENGINES = ("reference", "columnar")
+
 #: The informed policy's historical defaults (admission threshold and
 #: swap margin), shared by the spec fields and their unset checks.
 DEFAULT_MIN_USEFULNESS = 0.02
@@ -339,6 +342,12 @@ class MeasurementSpec:
     resolution: float = 1.0
     record_series: bool = True
     max_packets: int = 0  # 0 = let the transfer loop derive its default
+    #: Swarm execution engine: "reference" is the per-object event loop
+    #: (the parity baseline), "columnar" the batched flat-array engine
+    #: for large swarms.  Both produce identical seeded metrics; the
+    #: default keeps every existing pin byte-identical.  Sweepable via
+    #: ``with_override("measurement.engine", ...)``.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         _require_int(self.max_ticks, "max_ticks")
@@ -346,6 +355,10 @@ class MeasurementSpec:
         _require(self.max_ticks > 0, "max_ticks must be positive")
         _require(self.resolution > 0, "resolution must be positive")
         _require(self.max_packets >= 0, "max_packets must be non-negative")
+        _require(
+            self.engine in ENGINES,
+            f"engine must be one of {sorted(ENGINES)}, got {self.engine!r}",
+        )
 
 
 def _freeze_params(params: Any) -> Tuple[Tuple[str, Any], ...]:

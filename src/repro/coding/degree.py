@@ -22,6 +22,7 @@ import bisect
 import itertools
 import math
 import random
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 
@@ -157,10 +158,7 @@ class DegreeDistribution:
             raise ValueError("recoding domain must be non-empty")
         max_degree = max(1, min(max_degree, domain_size))
         min_degree = max(1, min(min_degree, max_degree))
-        if domain_size == 1:
-            return cls.fixed(1)
-        base = cls.robust_soliton(domain_size)
-        return base.truncated(min_degree, max_degree)
+        return _recoding_soliton_cached(domain_size, min_degree, max_degree)
 
     def truncated(self, min_degree: int, max_degree: int) -> "DegreeDistribution":
         """Restrict support to ``[min_degree, max_degree]`` and renormalise.
@@ -214,3 +212,20 @@ class DegreeDistribution:
             # c == 1 means identical sets; no degree makes a useful symbol.
             raise ValueError("correlation must lie in [0, 1)")
         return min(self.max_degree(), int(sampled_degree / (1.0 - correlation)))
+
+
+@lru_cache(maxsize=4096)
+def _recoding_soliton_cached(
+    domain_size: int, min_degree: int, max_degree: int
+) -> DegreeDistribution:
+    """Shared recoding distributions, keyed by clamped parameters.
+
+    Construction is deterministic and instances are immutable with a
+    stateless :meth:`DegreeDistribution.sample`, so every Recode
+    strategy with the same domain size can share one table instead of
+    rebuilding the robust soliton per connection.
+    """
+    if domain_size == 1:
+        return DegreeDistribution.fixed(1)
+    base = DegreeDistribution.robust_soliton(domain_size)
+    return base.truncated(min_degree, max_degree)

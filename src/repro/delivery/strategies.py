@@ -58,6 +58,20 @@ class SenderStrategy:
         return pool[self.rng.randrange(len(pool))]
 
 
+def _bloom_missing(pool: Sequence[int], receiver_filter) -> list:
+    """``[x for x in pool if x not in receiver_filter]``, batched.
+
+    Uses :meth:`~repro.filters.bloom.BloomFilter.contains_many` (same
+    probe rows as insertion, so identical answers) when the filter
+    offers it; tests sometimes pass plain sets, which fall back to the
+    scalar scan.
+    """
+    contains_many = getattr(receiver_filter, "contains_many", None)
+    if contains_many is None:
+        return [x for x in pool if x not in receiver_filter]
+    return [x for x, hit in zip(pool, contains_many(pool)) if not hit]
+
+
 class RandomStrategy(SenderStrategy):
     """Uniform random selection from the working set (the baseline)."""
 
@@ -86,7 +100,7 @@ class RandomBFStrategy(SenderStrategy):
         rng: Optional[random.Random] = None,
     ):
         super().__init__(working_set, rng)
-        self._useful = [i for i in self._pool if i not in receiver_filter]
+        self._useful = _bloom_missing(self._pool, receiver_filter)
         self.filtered_out = len(self._pool) - len(self._useful)
 
     def next_packet(self) -> Packet:
@@ -161,7 +175,7 @@ class RecodeBFStrategy(_RecodeBase):
         symbols_desired: Optional[int] = None,
         rng: Optional[random.Random] = None,
     ):
-        useful = [i for i in working_set if i not in receiver_filter]
+        useful = _bloom_missing(list(working_set), receiver_filter)
         super().__init__(
             working_set,
             domain=useful,
@@ -278,6 +292,7 @@ def make_strategy(
     symbols_desired: Optional[int] = None,
     summary_policy=None,
     receiver_summary=None,
+    receiver_filter: Optional[BloomFilter] = None,
 ) -> SenderStrategy:
     """Construct a strategy by legend name, building the summaries it needs.
 
@@ -295,7 +310,11 @@ def make_strategy(
     the policy's estimator.  ``None`` preserves the historical
     behaviour bit-for-bit.  ``receiver_summary`` supplies the
     receiver's already-built policy summary (callers that measured its
-    wire size need not pay the build twice).
+    wire size need not pay the build twice).  ``receiver_filter``
+    likewise supplies a pre-built Bloom filter for the legacy ``/BF``
+    paths — a receiver's filter is identical however many senders
+    consult it, so batched engines build it once per receiver instead
+    of once per connection.
     """
     if summary_policy is not None:
         return _make_policy_strategy(
@@ -311,17 +330,21 @@ def make_strategy(
     if name == "Random":
         return RandomStrategy(sender_set, rng)
     if name == "Random/BF":
-        return RandomBFStrategy(
-            sender_set,
-            receiver_set.bloom_summary(bits_per_element=bloom_bits_per_element),
-            rng,
-        )
+        if receiver_filter is None:
+            receiver_filter = receiver_set.bloom_summary(
+                bits_per_element=bloom_bits_per_element
+            )
+        return RandomBFStrategy(sender_set, receiver_filter, rng)
     if name == "Recode":
         return RecodeStrategy(sender_set, rng)
     if name == "Recode/BF":
+        if receiver_filter is None:
+            receiver_filter = receiver_set.bloom_summary(
+                bits_per_element=bloom_bits_per_element
+            )
         return RecodeBFStrategy(
             sender_set,
-            receiver_set.bloom_summary(bits_per_element=bloom_bits_per_element),
+            receiver_filter,
             symbols_desired=symbols_desired,
             rng=rng,
         )

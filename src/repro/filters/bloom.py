@@ -72,8 +72,7 @@ class BloomFilter:
         m = max(8, bits_per_element * n)
         k = k_hashes if k_hashes is not None else optimal_hash_count(m, n)
         bf = cls(m, k, seed)
-        for x in pool:
-            bf.add(x)
+        bf.bulk_update(pool)
         return bf
 
     # -- mutation ----------------------------------------------------------
@@ -97,13 +96,33 @@ class BloomFilter:
         free); an order of magnitude faster for the thousands-of-keys
         builds the summary adapters perform.
         """
-        from repro.hashing.batch import bloom_index_rows
+        from repro.hashing.batch import _numpy, bloom_index_matrix
 
         key_list = list(keys)
-        bits = self._bits
-        for row in bloom_index_rows(self._hashes, key_list):
-            for idx in row:
-                bits[idx >> 3] |= 1 << (idx & 7)
+        np = _numpy()
+        rows = (
+            bloom_index_matrix(self._hashes, key_list)
+            if np is not None
+            else None
+        )
+        if rows is None:
+            bits = self._bits
+            for key in key_list:
+                for idx in self._hashes.indices(key):
+                    bits[idx >> 3] |= 1 << (idx & 7)
+        else:
+            # Unbuffered scatter-OR straight into the byte array —
+            # duplicate probe positions combine exactly like the
+            # scalar loop (OR is idempotent).
+            flat = rows.ravel()
+            arr = np.frombuffer(self._bits, dtype=np.uint8)
+            np.bitwise_or.at(
+                arr,
+                (flat >> np.uint64(3)).astype(np.int64),
+                np.left_shift(
+                    np.uint8(1), (flat & np.uint64(7)).astype(np.uint8)
+                ),
+            )
         self.count += len(key_list)
 
     # -- queries -----------------------------------------------------------
@@ -113,6 +132,31 @@ class BloomFilter:
         return all(
             bits[idx >> 3] & (1 << (idx & 7)) for idx in self._hashes.indices(key)
         )
+
+    def contains_many(self, keys: Iterable[int]) -> List[bool]:
+        """Batched membership: one bool per key, same answers as ``in``.
+
+        The numpy path probes every ``(key, hash)`` index against the
+        unpacked bit array in one pass; without numpy it degrades to
+        the scalar probe.  Shares :func:`~repro.hashing.batch.
+        bloom_index_rows` with :meth:`bulk_update`, so query and
+        insertion can never disagree on probe positions.
+        """
+        from repro.hashing.batch import _numpy, bloom_index_matrix
+
+        key_list = list(keys)
+        np = _numpy()
+        rows = (
+            bloom_index_matrix(self._hashes, key_list)
+            if np is not None
+            else None
+        )
+        if rows is None:
+            return [key in self for key in key_list]
+        bits = np.unpackbits(
+            np.frombuffer(bytes(self._bits), dtype=np.uint8), bitorder="little"
+        )
+        return [bool(v) for v in bits[rows.astype(np.int64)].all(axis=1)]
 
     def missing_from(self, candidates: Iterable[int]) -> Iterator[int]:
         """Yield candidate keys that are definitely *not* in the summarised set.

@@ -35,6 +35,15 @@ def _numpy():
     return np
 
 
+def _mix64_np(z, seed: int, np):
+    """splitmix64 over a uint64 ndarray — the array-native mix kernel."""
+    with np.errstate(over="ignore"):
+        z = z + np.uint64(((seed + 1) * _SM_GAMMA) & _MASK64)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM_MUL1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM_MUL2)
+        return z ^ (z >> np.uint64(31))
+
+
 def mix64_batch(keys: Sequence[int], seed: int = 0) -> List[int]:
     """Vectorised :func:`repro.hashing.mix.mix64` over many keys.
 
@@ -49,13 +58,30 @@ def mix64_batch(keys: Sequence[int], seed: int = 0) -> List[int]:
         # mix64 masks high bits implicitly via + seed*gamma & mask; keys
         # beyond 64 bits need Python-int arithmetic to match exactly.
         return [mix64(x, seed) for x in key_list]
-    with np.errstate(over="ignore"):
-        z = np.asarray(key_list, dtype=np.uint64)
-        z = z + np.uint64(((seed + 1) * _SM_GAMMA) & _MASK64)
-        z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM_MUL1)
-        z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM_MUL2)
-        z = z ^ (z >> np.uint64(31))
+    z = _mix64_np(np.asarray(key_list, dtype=np.uint64), seed, np)
     return [int(v) for v in z]
+
+
+#: Key-chunk width for the permutation-minima matrix: bounds the
+#: temporary at ``len(family) * 2^16 * 8`` bytes (64 MB at 128 maps).
+_MINIMA_CHUNK = 1 << 16
+
+
+def _family_columns(family, np):
+    """Cached ``(a, b)`` column vectors for a permutation family.
+
+    Families are shared, long-lived objects (peers fix them off-line),
+    so the uint64 coefficient columns are built once and memoised on
+    the instance.
+    """
+    cols = getattr(family, "_batch_columns", None)
+    if cols is None:
+        count = len(family)
+        a = np.fromiter((p.a for p in family), dtype=np.uint64, count=count)
+        b = np.fromiter((p.b for p in family), dtype=np.uint64, count=count)
+        cols = (a[:, None], b[:, None])
+        family._batch_columns = cols
+    return cols
 
 
 def permutation_minima(family, keys: Iterable[int]) -> List[Optional[int]]:
@@ -63,8 +89,10 @@ def permutation_minima(family, keys: Iterable[int]) -> List[Optional[int]]:
 
     The batched core of :meth:`repro.sketches.MinwiseSketch.
     build_vectorized`, shared with the reconcile adapters: evaluates
-    every ``(a*x + b) mod u`` map over all keys at once.  Identical to
-    the scalar loop; an empty key set yields all-``None`` minima.
+    every ``(a*x + b) mod u`` map over all keys at once — one
+    permutations-by-keys matrix per chunk rather than a per-map Python
+    loop.  Identical to the scalar loop; an empty key set yields
+    all-``None`` minima.
 
     Raises:
         ValueError: if any key falls outside ``[0, u)``.
@@ -85,23 +113,52 @@ def permutation_minima(family, keys: Iterable[int]) -> List[Optional[int]]:
             # Vectorised range check replaces a per-key Python loop.
             if int(keys64.max()) >= u:
                 raise ValueError("key outside the family's universe")
-            # (a*x + b) stays below 2^64 for a < u <= 2^32: single pass.
+            # (a*x + b) stays below 2^64 for a < u <= 2^32.  Chunking
+            # the key axis caps the temporary matrix; the chunkwise
+            # elementwise minimum equals the single-pass minimum.
+            a, b = _family_columns(family, np)
             with np.errstate(over="ignore"):
-                return [
-                    int(
-                        (
-                            (np.uint64(p.a) * keys64 + np.uint64(p.b))
-                            % np.uint64(u)
-                        ).min()
-                    )
-                    for p in family
-                ]
+                minima = None
+                for start in range(0, len(keys64), _MINIMA_CHUNK):
+                    chunk = keys64[start : start + _MINIMA_CHUNK]
+                    part = ((a * chunk[None, :] + b) % np.uint64(u)).min(axis=1)
+                    minima = part if minima is None else np.minimum(minima, part)
+            return [int(v) for v in minima]
     # Wide universes overflow uint64 (and no-numpy environments):
     # Python ints per permutation, still a single pass per map.
     for x in key_list:
         if not 0 <= x < u:
             raise ValueError("key outside the family's universe")
     return [min((p.a * x + p.b) % u for x in key_list) for p in family]
+
+
+def bloom_index_matrix(hashes, keys: Sequence[int]):
+    """``(n, k)`` uint64 probe-index matrix, or None off the numpy path.
+
+    The array-native core of :func:`bloom_index_rows`: row ``i`` holds
+    ``hashes.indices(keys[i])`` exactly.  Returns None when numpy is
+    unavailable, the key list is empty, a key exceeds 64 bits, or the
+    ``(k+1)*m`` intermediate would overflow uint64 — callers then take
+    the scalar loop.
+    """
+    key_list = list(keys)
+    np = _numpy()
+    if np is None or not key_list:
+        return None
+    if any(x < 0 or x > _MASK64 for x in key_list):
+        return None
+    m, k = hashes.m, hashes.k
+    if m * (k + 1) >= 1 << 63:
+        return None
+    # The scalar loop computes (h1 + i*h2) % m in unbounded Python ints;
+    # reducing h1 and h2 mod m first keeps every intermediate below
+    # (k+1)*m — uint64-safe — while yielding the identical residues.
+    keys64 = np.asarray(key_list, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        h1 = _mix64_np(keys64, hashes._seed1, np) % np.uint64(m)
+        h2 = (_mix64_np(keys64, hashes._seed2, np) | np.uint64(1)) % np.uint64(m)
+        steps = np.arange(k, dtype=np.uint64)
+        return (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(m)
 
 
 def bloom_index_rows(hashes, keys: Sequence[int]) -> List[List[int]]:
@@ -111,29 +168,15 @@ def bloom_index_rows(hashes, keys: Sequence[int]) -> List[List[int]]:
     scalar double-hashing loop.
     """
     key_list = list(keys)
-    np = _numpy()
-    if np is None or not key_list:
+    rows = bloom_index_matrix(hashes, key_list)
+    if rows is None:
         return [hashes.indices(x) for x in key_list]
-    if any(x < 0 or x > _MASK64 for x in key_list):
-        return [hashes.indices(x) for x in key_list]
-    m, k = hashes.m, hashes.k
-    if m * (k + 1) >= 1 << 63:
-        return [hashes.indices(x) for x in key_list]
-    # The scalar loop computes (h1 + i*h2) % m in unbounded Python ints;
-    # reducing h1 and h2 mod m first keeps every intermediate below
-    # (k+1)*m — uint64-safe — while yielding the identical residues.
-    h1 = np.asarray(mix64_batch(key_list, hashes._seed1), dtype=np.uint64) % np.uint64(m)
-    h2 = (
-        np.asarray(mix64_batch(key_list, hashes._seed2), dtype=np.uint64) | np.uint64(1)
-    ) % np.uint64(m)
-    with np.errstate(over="ignore"):
-        steps = np.arange(k, dtype=np.uint64)
-        rows = (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(m)
     return [[int(v) for v in row] for row in rows]
 
 
 __all__ = [
     "mix64_batch",
     "permutation_minima",
+    "bloom_index_matrix",
     "bloom_index_rows",
 ]

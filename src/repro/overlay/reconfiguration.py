@@ -49,6 +49,21 @@ class SummaryScheme:
         self.params: Tuple[Tuple[str, Any], ...] = (
             tuple(sorted(params.items())) if params else ()
         )
+        self._memo: Optional[Dict[Tuple[str, str], float]] = None
+
+    def set_memo(self, memo: Optional[Dict[Tuple[str, str], float]]) -> None:
+        """Install (or clear, with ``None``) a usefulness memo.
+
+        The memo maps ``(receiver_id, candidate_id)`` to the exact
+        float :meth:`usefulness` would compute; misses are computed and
+        cached.  Batched engines prefill it with vectorised values and
+        share one dict across the admission and rewiring schemes of an
+        epoch, so the scan-once-decide-many pattern stops recomputing
+        identical card comparisons.  The caller owns validity: the memo
+        must be cleared (or replaced) whenever any working set may have
+        changed since it was filled.
+        """
+        self._memo = memo
 
     @classmethod
     def from_family(cls, family: PermutationFamily) -> "SummaryScheme":
@@ -116,6 +131,17 @@ class SummaryScheme:
         """
         if candidate.is_source:
             return 1.0
+        memo = self._memo
+        if memo is not None:
+            key = (receiver.node_id, candidate.node_id)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            value = 1.0 - self.resemblance(
+                self.card_of(receiver), self.card_of(candidate)
+            )
+            memo[key] = value
+            return value
         return 1.0 - self.resemblance(
             self.card_of(receiver), self.card_of(candidate)
         )

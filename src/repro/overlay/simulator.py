@@ -54,6 +54,11 @@ class Connection:
     installing a custom ``link`` ends the coupling.
     """
 
+    #: Class-wide stamp bumped on any mid-run bandwidth/loss/link
+    #: reassignment; batched engines compare it to know their cached
+    #: per-connection rate/loss columns went stale.
+    mutations = 0
+
     def __init__(
         self,
         sender: OverlayNode,
@@ -87,6 +92,7 @@ class Connection:
     @bandwidth.setter
     def bandwidth(self, value: float) -> None:
         self._bandwidth = value
+        Connection.mutations += 1
         if self._auto_link:
             self._link.rate = value
 
@@ -97,6 +103,7 @@ class Connection:
     @loss_rate.setter
     def loss_rate(self, value: float) -> None:
         self._loss_rate = value
+        Connection.mutations += 1
         if self._auto_link:
             self._link.loss_rate = value
 
@@ -108,6 +115,7 @@ class Connection:
     def link(self, value: LinkModel) -> None:
         self._link = value
         self._auto_link = False
+        Connection.mutations += 1
 
     def packets_this_tick(self) -> int:
         """Integer packets for a possibly fractional bandwidth.
@@ -133,7 +141,15 @@ class Connection:
 
 @dataclass
 class SimulationReport:
-    """Aggregate outcome of an overlay simulation run."""
+    """Aggregate outcome of an overlay simulation run.
+
+    Packet counters are **cumulative over the whole run**: a packet sent
+    on a connection that was later dropped by rewiring or churn still
+    counts, and ``completion_ticks`` retains nodes that completed and
+    then departed.  (Before the columnar-engine release these counters
+    summed live connections only, silently erasing history on every
+    disconnect.)
+    """
 
     ticks: int
     all_complete: bool
@@ -231,6 +247,18 @@ class OverlaySimulator:
         self.reconfigurations = 0
         self.reconfig_epochs = 0
         self.control_bytes = 0
+        # Cumulative packet totals owned by the simulator.  Per-
+        # connection counters die with their Connection on disconnect
+        # or churn (and a latency-delayed packet can land on an
+        # already-dropped connection), so every send/loss/useful event
+        # also bumps these — report() reads them, never the live
+        # connection map.
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.packets_useful = 0
+        # node_id -> completed_at_tick for nodes that departed; keeps
+        # completion history visible after remove_node().
+        self._completion_tombstones: Dict[str, Optional[int]] = {}
         # The legacy tick loop as one periodic event; a shared clock
         # may already read past zero, so ticks count from its epoch.
         self._epoch = self.scheduler.now
@@ -275,6 +303,8 @@ class OverlaySimulator:
         node = self.nodes.pop(node_id, None)
         if node is None:
             return None
+        if not node.is_source:
+            self._completion_tombstones[node_id] = node.completed_at_tick
         for sender in list(self.topology.senders_of(node_id)):
             self.disconnect(sender, node_id)
         for receiver in list(self.topology.receivers_of(node_id)):
@@ -338,11 +368,13 @@ class OverlaySimulator:
             for _ in range(conn.link.packet_budget(now - 1.0, now)):
                 packet = self._compose(conn)
                 conn.packets_sent += 1
+                self.packets_sent += 1
                 if self.stats is not None:
                     self.stats.count(now, conn.stats_name, "sent")
                 delay = conn.link.transmit(self.rng)
                 if delay is None:
                     conn.packets_lost += 1
+                    self.packets_lost += 1
                     if self.stats is not None:
                         self.stats.count(now, conn.stats_name, "lost")
                     continue
@@ -372,17 +404,19 @@ class OverlaySimulator:
         return self.report()
 
     def report(self) -> SimulationReport:
+        completion: Dict[str, Optional[int]] = dict(self._completion_tombstones)
+        completion.update(
+            (nid, n.completed_at_tick)
+            for nid, n in self.nodes.items()
+            if not n.is_source
+        )
         return SimulationReport(
             ticks=self.tick_count,
             all_complete=self._all_complete(),
-            completion_ticks={
-                nid: n.completed_at_tick
-                for nid, n in self.nodes.items()
-                if not n.is_source
-            },
-            packets_sent=sum(c.packets_sent for c in self.connections.values()),
-            packets_lost=sum(c.packets_lost for c in self.connections.values()),
-            packets_useful=sum(c.packets_useful for c in self.connections.values()),
+            completion_ticks=completion,
+            packets_sent=self.packets_sent,
+            packets_lost=self.packets_lost,
+            packets_useful=self.packets_useful,
             reconfigurations=self.reconfigurations,
             reconfig_epochs=self.reconfig_epochs,
             control_bytes=self.control_bytes,
@@ -394,9 +428,22 @@ class OverlaySimulator:
         return all(n.is_complete for n in self.nodes.values())
 
     def _build_strategy(
-        self, sender: OverlayNode, receiver: OverlayNode
+        self,
+        sender: OverlayNode,
+        receiver: OverlayNode,
+        receiver_filter=None,
+        receiver_summary=None,
     ) -> Optional[SenderStrategy]:
-        """Strategy for a partial sender; sources mint fresh ids instead."""
+        """Strategy for a partial sender; sources mint fresh ids instead.
+
+        ``receiver_filter`` / ``receiver_summary`` forward pre-built
+        receiver artefacts to :func:`make_strategy` — a receiver's
+        summary is the same for all its senders, so batched engines
+        build it once per receiver per refresh instead of once per
+        connection.  ``None`` rebuilds them per call (the reference
+        behaviour; the artefacts are deterministic, so both paths
+        produce identical strategies and RNG streams).
+        """
         if sender.is_source:
             return None
         if len(sender.working_set) == 0:
@@ -410,6 +457,8 @@ class OverlaySimulator:
             self.rng,
             symbols_desired=int(math.ceil(deficit / slots * 1.15)),
             summary_policy=self.summary_policy,
+            receiver_summary=receiver_summary,
+            receiver_filter=receiver_filter,
         )
 
     def _refresh_strategies(self) -> None:
@@ -443,7 +492,11 @@ class OverlaySimulator:
         if receiver.is_complete:
             return  # late arrival after completion: nothing to add
         if self._deliver(receiver, packet):
+            # The simulator-level total owns this increment: the
+            # connection may already have been dropped mid-flight, in
+            # which case its own counter is a dead object's field.
             conn.packets_useful += 1
+            self.packets_useful += 1
             if self.stats is not None:
                 now = self.scheduler.now
                 self.stats.count(now, conn.stats_name, "useful")

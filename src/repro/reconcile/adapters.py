@@ -28,6 +28,8 @@ headers — matching the byte accounting the protocol messages report.
 import random
 from typing import Any, Dict, Iterable, List, Optional
 
+from functools import lru_cache
+
 from repro.art import ApproximateReconciliationTree, ARTSummary, find_difference
 from repro.art.tree import ReconciliationTrie, value_hash
 from repro.exact.cpi import CharacteristicPolynomialReconciler, CPISketch
@@ -52,6 +54,18 @@ from repro.reconcile.registry import register_summary
 #: Default key universe, matching :data:`repro.delivery.working_set.
 #: DEFAULT_KEY_UNIVERSE` (kept literal to avoid a delivery import here).
 DEFAULT_UNIVERSE = 1 << 32
+
+
+@lru_cache(maxsize=32)
+def _shared_family(entries: int, universe: int, seed: int) -> PermutationFamily:
+    """The min-wise permutation family for one parameter triple.
+
+    :class:`PermutationFamily` is a pure function of its arguments (the
+    paper fixes families "universally off-line"), and building one
+    draws 128 modular inverses — far too costly to repeat per card
+    when a large swarm refreshes thousands of cards per epoch.
+    """
+    return PermutationFamily(entries, universe, seed=seed)
 
 
 def _estimate_intersection_from_resemblance(r: float, n_a: int, n_b: int) -> float:
@@ -101,7 +115,7 @@ class MinwiseSummary(Summary):
         seed: int = 0,
     ) -> "MinwiseSummary":
         pool = frozenset(ids)
-        family = PermutationFamily(entries, universe, seed=seed)
+        family = _shared_family(entries, universe, seed)
         minima = permutation_minima(family, pool)
         return cls(minima, len(pool), entries, universe, seed, local_ids=pool)
 
