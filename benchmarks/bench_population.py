@@ -1,0 +1,126 @@
+"""Population scaling: the flow engine from 10k to 1M peers.
+
+Not a paper figure — this benchmarks the hybrid flow-level engine's
+headline property: wall-clock that is flat in population size (cost is
+O(cohorts x tiers) per window, and cohort count depends on objects and
+waves, not members).  The curve makes the "millions of users" regime
+of the paper's flash-crowd story an everyday run rather than a cluster
+job, with the 1M-peer informed acceptance point asserted under five
+minutes.
+
+``REPRO_BENCH_POP_MAX`` caps the largest population (default 1M);
+``REPRO_BENCH_POP_OBJECTS`` / ``REPRO_BENCH_POP_WAVES`` reshape the
+cohort grid.  With ``REPRO_BENCH_JSON=<dir>`` the benchmark emits
+``BENCH_population.json``: one ``repro.run_result/1`` entry for a
+seeded miniature cross-fidelity pair plus ``repro.bench_meta/1`` timing
+entries per population size — validated by
+``scripts/validate_bench.py``.
+"""
+
+import os
+import time
+
+from conftest import print_series, write_bench_json
+
+from repro.api import run, specs
+
+SIZES = (10_000, 100_000, 1_000_000)
+ACCEPTANCE_SECONDS = 300.0
+
+
+def _sizes():
+    cap = int(os.environ.get("REPRO_BENCH_POP_MAX", SIZES[-1]))
+    return [s for s in SIZES if s <= cap] or [cap]
+
+
+def _spec(population, policy="informed"):
+    return specs.population_flash_crowd(
+        population=population,
+        objects=int(os.environ.get("REPRO_BENCH_POP_OBJECTS", 4)),
+        waves=int(os.environ.get("REPRO_BENCH_POP_WAVES", 6)),
+        seed=11,
+        fidelity="flow",
+        policy=policy,
+    )
+
+
+def test_population_scaling_curve(benchmark):
+    rows = []
+    meta_entries = []
+
+    def sweep():
+        rows.clear()
+        meta_entries.clear()
+        for size in _sizes():
+            t0 = time.perf_counter()
+            result = run(_spec(size))
+            wall = time.perf_counter() - t0
+            m = result.metrics
+            rows.append(
+                f"peers={size:9,d}  wall={wall:7.3f}s  "
+                f"peers/s={size / wall:12,.0f}  "
+                f"useful={m['useful_fraction']:.3f}  "
+                f"last={m['last_completion_tick']:7.1f}  "
+                f"control={int(m['reconfig_control_bytes']):12,d}B"
+            )
+            meta_entries.append(
+                {
+                    "schema": "repro.bench_meta/1",
+                    "name": f"population_flow_{size}",
+                    "population": size,
+                    "wall_seconds": wall,
+                    "peers_per_second": size / wall,
+                    "useful_fraction": m["useful_fraction"],
+                    "last_completion_tick": m["last_completion_tick"],
+                    "control_bytes": m["reconfig_control_bytes"],
+                }
+            )
+            assert result.completed
+            assert m["completed_fraction"] == 1.0
+            # The ISSUE's acceptance bar: a seeded 1M-peer informed
+            # flow run finishes in minutes on a CI-class host.
+            assert wall < ACCEPTANCE_SECONDS
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("flow-engine population scaling (informed)", rows)
+
+    # The archived correctness anchor: one miniature population at both
+    # fidelities, in the shared run-result schema.
+    miniature = [
+        run(
+            specs.population_flash_crowd(
+                population=64, target=48, waves=2, seed=9, fidelity=fidelity
+            )
+        )
+        for fidelity in ("packet", "flow")
+    ]
+    assert all(r.completed for r in miniature)
+    write_bench_json("population", miniature + meta_entries)
+
+
+def test_policy_arms_at_scale(benchmark):
+    """Informed / random / static at 100k peers: one comparable row each."""
+
+    size = min(100_000, _sizes()[-1])
+
+    def arms():
+        out = []
+        for policy in ("informed", "random", "static"):
+            t0 = time.perf_counter()
+            result = run(_spec(size, policy=policy))
+            out.append((policy, time.perf_counter() - t0, result.metrics))
+        return out
+
+    results = benchmark.pedantic(arms, rounds=1, iterations=1)
+    rows = [
+        f"policy={policy:9s}  wall={wall:6.3f}s  "
+        f"useful={m['useful_fraction']:.3f}  "
+        f"mean_done={m['mean_completion_tick']:7.2f}  "
+        f"control={int(m.get('reconfig_control_bytes', 0)):10,d}B"
+        for policy, wall, m in results
+    ]
+    print_series(f"policy arms at {size:,} peers (flow fidelity)", rows)
+    by_policy = {policy: m for policy, _, m in results}
+    assert by_policy["static"]["reconfig_control_bytes"] == 0
+    assert by_policy["informed"]["reconfig_control_bytes"] > 0

@@ -45,9 +45,23 @@ def _validate_entry(entry) -> None:
 
 
 def validate_dir(out_dir: str) -> int:
+    # Distinguish "the benchmarks never ran" (no directory) from "they
+    # ran but dumped nothing" (empty directory): both must fail the CI
+    # bench-baseline job loudly, with a message naming the actual hole.
+    if not os.path.isdir(out_dir):
+        print(
+            f"error: benchmark output directory {out_dir!r} does not exist "
+            "(did the benchmark suite run with REPRO_BENCH_JSON set?)",
+            file=sys.stderr,
+        )
+        return 1
     paths = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
     if not paths:
-        print(f"error: no BENCH_*.json files under {out_dir!r}", file=sys.stderr)
+        print(
+            f"error: no BENCH_*.json files under {out_dir!r} — the benchmark "
+            "suite produced no dumps, so there is nothing to gate",
+            file=sys.stderr,
+        )
         return 1
     failures = 0
     for path in paths:

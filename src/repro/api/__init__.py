@@ -12,7 +12,8 @@ One shape for every experiment in the repo::
 * :mod:`repro.api.spec` — frozen, JSON-round-trippable spec
   dataclasses (:class:`ExperimentSpec` composing :class:`SwarmSpec`,
   :class:`NodeSpec`, :class:`LinkSpec`, :class:`StrategySpec`,
-  :class:`ChurnSpec`, :class:`MeasurementSpec`).
+  :class:`ChurnSpec`, :class:`MeasurementSpec`,
+  :class:`PopulationSpec`).
 * :mod:`repro.api.registry` — the string-keyed scenario registry
   (:func:`~repro.api.registry.scenario` decorator).
 * :mod:`repro.api.builders` — the scenario catalog: spec constructors
@@ -37,6 +38,7 @@ from repro.api.spec import (
     LinkSpec,
     MeasurementSpec,
     NodeSpec,
+    PopulationSpec,
     ReconfigSpec,
     SpecError,
     StrategySpec,
@@ -60,6 +62,7 @@ __all__ = [
     "ChurnSpec",
     "ReconfigSpec",
     "MeasurementSpec",
+    "PopulationSpec",
     "BuiltExperiment",
     "build",
     "run",

@@ -183,6 +183,22 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        metavar="NAME",
+        help=(
+            "override the spec's packet engine: 'reference' (event-faithful "
+            "default) or 'columnar' (batched large-swarm engine)"
+        ),
+    )
+    parser.add_argument(
+        "--fidelity",
+        metavar="NAME",
+        help=(
+            "override the spec's simulation fidelity: 'packet' (default) or "
+            "'flow' (population-scale rate equations; population scenarios)"
+        ),
+    )
+    parser.add_argument(
         "--out", metavar="FILE", help="write the result JSON here instead of stdout"
     )
     parser.add_argument(
@@ -218,6 +234,12 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
         )
     if args.reconfig:
         spec = dataclasses.replace(spec, reconfig=parse_reconfig_arg(args.reconfig))
+    # with_override validates the value (unknown engine/fidelity ->
+    # SpecError -> exit status 2), unlike a bare dataclasses.replace.
+    if args.engine:
+        spec = spec.with_override("measurement.engine", args.engine)
+    if args.fidelity:
+        spec = spec.with_override("measurement.fidelity", args.fidelity)
     return spec
 
 
@@ -243,6 +265,10 @@ def _load_campaign(args: argparse.Namespace):
         )
     if args.reconfig:
         base = dataclasses.replace(base, reconfig=parse_reconfig_arg(args.reconfig))
+    if args.engine:
+        base = base.with_override("measurement.engine", args.engine)
+    if args.fidelity:
+        base = base.with_override("measurement.fidelity", args.fidelity)
     if base is not campaign.base:
         campaign = dataclasses.replace(campaign, base=base)
     return campaign

@@ -13,7 +13,7 @@ the ``python -m repro.api --scenario <name>`` CLI path.
 """
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api.spec import ExperimentSpec, SpecError
 
@@ -50,6 +50,14 @@ class ScenarioEntry:
     small_spec: Optional[Callable[[], ExperimentSpec]] = None
     description: str = ""
     small_grid: Optional[Callable[[], Dict[str, list]]] = None
+    #: Simulation fidelities the builder can honour
+    #: (``spec.measurement.fidelity``); :func:`repro.api.run` rejects a
+    #: fidelity the scenario never consults rather than running the
+    #: wrong engine silently.
+    fidelities: Tuple[str, ...] = ("packet",)
+    #: Whether the builder consumes ``spec.population``; a population
+    #: spec on any other scenario is rejected rather than ignored.
+    uses_population: bool = False
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -60,6 +68,8 @@ def scenario(
     small_spec: Optional[Callable[[], ExperimentSpec]] = None,
     description: str = "",
     small_grid: Optional[Callable[[], Dict[str, list]]] = None,
+    fidelities: Tuple[str, ...] = ("packet",),
+    uses_population: bool = False,
 ) -> Callable:
     """Class/function decorator registering a spec builder under ``name``."""
 
@@ -73,6 +83,8 @@ def scenario(
             small_spec=small_spec,
             description=description or (doc_lines[0] if doc_lines else ""),
             small_grid=small_grid,
+            fidelities=tuple(fidelities),
+            uses_population=uses_population,
         )
         return builder
 

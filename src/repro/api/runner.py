@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 from repro.api import registry
 from repro.api.result import RunResult
-from repro.api.spec import ExperimentSpec
+from repro.api.spec import ExperimentSpec, SpecError
 
 
 @dataclass
@@ -40,8 +40,28 @@ class BuiltExperiment:
 
 
 def build(spec: ExperimentSpec) -> BuiltExperiment:
-    """Interpret a spec: construct the experiment without running it."""
-    return registry.get(spec.scenario).builder(spec)
+    """Interpret a spec: construct the experiment without running it.
+
+    Selections the scenario would never consult are rejected here, once,
+    rather than silently ignored by each builder: a fidelity the
+    registration does not declare, or a population spec on a scenario
+    with no population model.
+    """
+    entry = registry.get(spec.scenario)
+    fidelity = spec.measurement.fidelity
+    if fidelity not in entry.fidelities:
+        raise SpecError(
+            f"scenario {spec.scenario!r} supports fidelity "
+            f"{sorted(entry.fidelities)}, not {fidelity!r}; the flow fidelity "
+            "applies to the population scenarios (population_flash_crowd)"
+        )
+    if spec.population is not None and not entry.uses_population:
+        raise SpecError(
+            f"scenario {spec.scenario!r} has no population model; a "
+            "population spec applies to the population scenarios "
+            "(population_flash_crowd)"
+        )
+    return entry.builder(spec)
 
 
 def run(spec: ExperimentSpec) -> RunResult:

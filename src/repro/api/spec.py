@@ -38,6 +38,14 @@ RECONFIG_POLICIES = ("informed", "random", "static")
 #: Swarm execution engines a :class:`MeasurementSpec` may select.
 ENGINES = ("reference", "columnar")
 
+#: Simulation fidelities a :class:`MeasurementSpec` may select:
+#: ``"packet"`` runs the per-symbol event engines, ``"flow"`` the
+#: rate-equation population engine (:mod:`repro.flow`).
+FIDELITIES = ("packet", "flow")
+
+#: Arrival-wave shapes a :class:`PopulationSpec` may name.
+WAVE_PROFILES = ("uniform", "flash", "diurnal")
+
 #: The informed policy's historical defaults (admission threshold and
 #: swap margin), shared by the spec fields and their unset checks.
 DEFAULT_MIN_USEFULNESS = 0.02
@@ -348,6 +356,14 @@ class MeasurementSpec:
     #: default keeps every existing pin byte-identical.  Sweepable via
     #: ``with_override("measurement.engine", ...)``.
     engine: str = "reference"
+    #: Simulation fidelity: "packet" runs the per-symbol event engines
+    #: (every existing scenario), "flow" the rate-equation population
+    #: engine of :mod:`repro.flow` — bulk transfer as closed-form
+    #: goodput between real summary handshakes, for million-peer
+    #: populations.  Only scenarios registered with flow support
+    #: (``population_flash_crowd``) accept it.  Sweepable via
+    #: ``with_override("measurement.fidelity", ...)``.
+    fidelity: str = "packet"
 
     def __post_init__(self) -> None:
         _require_int(self.max_ticks, "max_ticks")
@@ -359,6 +375,70 @@ class MeasurementSpec:
             self.engine in ENGINES,
             f"engine must be one of {sorted(ENGINES)}, got {self.engine!r}",
         )
+        _require(
+            self.fidelity in FIDELITIES,
+            f"fidelity must be one of {sorted(FIDELITIES)}, got {self.fidelity!r}",
+        )
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """A population-scale demand model for the flow-fidelity scenarios.
+
+    Describes *who wants what, when*: ``size`` peers spread over
+    ``objects`` distinct contents by a Zipf popularity law
+    (``zipf_skew``), arriving in ``waves`` join waves shaped by
+    ``wave_profile`` every ``wave_interval`` time units, with a
+    ``seeded_fraction`` of each object's audience pre-seeded as two
+    complementary mirror groups (the paper's Figure 1 environment at
+    population scale).  ``rate``/``loss_rate`` describe the per-
+    connection goodput; ``rate_tiers``/``rate_spread`` split each
+    arrival cohort into bandwidth classes with multipliers spanning
+    ``[1-spread, 1+spread]``.  ``sample_cap`` bounds the sampled-ID
+    sketch each flow-level cohort representative carries (the set the
+    real reconciliation summaries are built over at handshake time).
+    """
+
+    size: int = 10_000
+    objects: int = 1
+    zipf_skew: float = 0.8
+    waves: int = 4
+    wave_profile: str = "flash"
+    wave_interval: float = 10.0
+    seeded_fraction: float = 0.1
+    rate: float = 2.0
+    loss_rate: float = 0.01
+    rate_tiers: int = 2
+    rate_spread: float = 0.25
+    sample_cap: int = 256
+    max_connections: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("size", "objects", "waves", "rate_tiers", "sample_cap",
+                     "max_connections"):
+            _require_int(getattr(self, name), name)
+        _require(self.size >= 1, "population size must be at least 1")
+        _require(self.objects >= 1, "objects must be at least 1")
+        _require(self.zipf_skew >= 0.0, "zipf_skew must be non-negative")
+        _require(self.waves >= 1, "need at least one arrival wave")
+        _require(
+            self.wave_profile in WAVE_PROFILES,
+            f"unknown wave profile {self.wave_profile!r}; expected one of "
+            f"{WAVE_PROFILES}",
+        )
+        _require(self.wave_interval > 0.0, "wave_interval must be positive")
+        _require(
+            0.0 <= self.seeded_fraction < 1.0,
+            "seeded_fraction must lie in [0, 1)",
+        )
+        _require(self.rate > 0.0, "population rate must be positive")
+        _require(0.0 <= self.loss_rate < 1.0, "loss_rate must lie in [0, 1)")
+        _require(self.rate_tiers >= 1, "need at least one rate tier")
+        _require(
+            0.0 <= self.rate_spread < 1.0, "rate_spread must lie in [0, 1)"
+        )
+        _require(self.sample_cap >= 16, "sample_cap must be at least 16")
+        _require(self.max_connections >= 1, "max_connections must be at least 1")
 
 
 def _freeze_params(params: Any) -> Tuple[Tuple[str, Any], ...]:
@@ -403,6 +483,7 @@ class ExperimentSpec:
     churn: Optional[ChurnSpec] = None
     reconfig: Optional[ReconfigSpec] = None
     measurement: MeasurementSpec = MeasurementSpec()
+    population: Optional[PopulationSpec] = None
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -497,6 +578,7 @@ class ExperimentSpec:
         swarm = data.get("swarm")
         churn = data.get("churn")
         reconfig = data.get("reconfig")
+        population = data.get("population")
         return cls(
             scenario=data["scenario"],
             seed=data.get("seed", 0),
@@ -505,6 +587,9 @@ class ExperimentSpec:
             churn=_component_from_dict(ChurnSpec, churn) if churn is not None else None,
             reconfig=_reconfig_from_dict(reconfig) if reconfig is not None else None,
             measurement=_component_from_dict(MeasurementSpec, data.get("measurement")),
+            population=_component_from_dict(PopulationSpec, population)
+            if population is not None
+            else None,
             params=_freeze_params(data.get("params", ())),
         )
 
@@ -524,6 +609,7 @@ _DEFAULTABLE_COMPONENTS = {
     "churn": ChurnSpec,
     "summary": SummarySpec,
     "reconfig": ReconfigSpec,
+    "population": PopulationSpec,
 }
 
 
@@ -682,6 +768,9 @@ __all__ = [
     "SEED_BASES",
     "NODE_ROLES",
     "RECONFIG_POLICIES",
+    "ENGINES",
+    "FIDELITIES",
+    "WAVE_PROFILES",
     "LinkSpec",
     "LinkRuleSpec",
     "NodeSpec",
@@ -691,5 +780,6 @@ __all__ = [
     "ChurnSpec",
     "ReconfigSpec",
     "MeasurementSpec",
+    "PopulationSpec",
     "ExperimentSpec",
 ]

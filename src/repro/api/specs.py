@@ -23,6 +23,7 @@ from repro.api.builders import (
     session_swarm,
     source_departure,
 )
+from repro.api.population import population_flash_crowd
 from repro.api.tradeoff import summary_tradeoff
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "figure1",
     "random_overlay",
     "adaptive_overlay",
+    "population_flash_crowd",
 ]

@@ -1,0 +1,41 @@
+"""repro.flow — flow-level simulation for million-peer populations.
+
+Bulk transfer advances as rate equations over cohort aggregates
+(:class:`FlowSimulator`), while the reconciliation control plane stays
+packet-real: every cohort representative carries a sampled-ID sketch
+over which genuine :mod:`repro.reconcile` summaries are built at each
+epoch handshake, driving the same
+:class:`~repro.overlay.reconfiguration.SketchAdmission` /
+:class:`~repro.overlay.reconfiguration.UtilityRewiring` policies the
+packet engines use.  Selected through the spec layer as
+``measurement.fidelity = "flow"`` on the population scenarios.
+
+* :mod:`repro.flow.engine` — :class:`FlowSimulator`,
+  :class:`CohortDef`, :class:`FlowReport`.
+* :mod:`repro.flow.demand` — deterministic Zipf/wave/tier
+  apportionment shared by both fidelities.
+"""
+
+from repro.flow.demand import (
+    apportion,
+    tier_multipliers,
+    wave_weights,
+    zipf_shares,
+)
+from repro.flow.engine import (
+    UNINFORMED_STRATEGIES,
+    CohortDef,
+    FlowReport,
+    FlowSimulator,
+)
+
+__all__ = [
+    "CohortDef",
+    "FlowReport",
+    "FlowSimulator",
+    "UNINFORMED_STRATEGIES",
+    "apportion",
+    "zipf_shares",
+    "wave_weights",
+    "tier_multipliers",
+]

@@ -1,0 +1,95 @@
+"""Deterministic demand-model arithmetic for population-scale runs.
+
+The flow engine and the packet-fidelity population builder both consume
+these helpers, so the two fidelities construct byte-identical
+populations: the same object popularity split, the same wave sizes at
+the same times, the same bandwidth-tier membership.  Everything here is
+integer largest-remainder apportionment over closed-form weights — no
+RNG, no floats surviving into membership counts — which is also what
+keeps the arithmetic identical with and without numpy.
+"""
+
+import math
+from typing import List, Sequence
+
+
+def _spec_error(message: str) -> Exception:
+    """A SpecError, imported lazily: ``repro.api`` pulls this module in
+    during its own package init (via ``repro.api.population``), so a
+    module-level import here would be circular whenever ``repro.flow``
+    is imported first."""
+    from repro.api.spec import SpecError
+
+    return SpecError(message)
+
+
+def apportion(total: int, weights: Sequence[float]) -> List[int]:
+    """Split ``total`` integer units across ``weights`` proportionally.
+
+    Largest-remainder (Hamilton) apportionment: exact sum, deterministic,
+    ties broken by position.  Zero or negative weights get nothing unless
+    every weight is non-positive, which is rejected.
+    """
+    if total < 0:
+        raise _spec_error("cannot apportion a negative total")
+    if not weights:
+        raise _spec_error("cannot apportion across zero buckets")
+    mass = float(sum(w for w in weights if w > 0))
+    if mass <= 0.0:
+        raise _spec_error("apportion needs at least one positive weight")
+    quotas = [total * max(0.0, w) / mass for w in weights]
+    counts = [int(q) for q in quotas]
+    shortfall = total - sum(counts)
+    # Hand the leftover units to the largest fractional remainders.
+    order = sorted(
+        range(len(weights)), key=lambda i: (quotas[i] - counts[i], -i), reverse=True
+    )
+    for i in order[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+def zipf_shares(objects: int, skew: float) -> List[float]:
+    """Popularity weight of each object: ``1 / rank^skew`` (rank from 1)."""
+    if objects < 1:
+        raise _spec_error("need at least one object")
+    return [1.0 / (rank ** skew) for rank in range(1, objects + 1)]
+
+
+def wave_weights(profile: str, waves: int) -> List[float]:
+    """Relative size of each arrival wave under a named profile.
+
+    ``uniform`` — equal waves; ``flash`` — a front-loaded geometric
+    rush (each wave half the previous); ``diurnal`` — one sinusoidal
+    day, arrivals peaking mid-sequence.
+    """
+    if waves < 1:
+        raise _spec_error("need at least one arrival wave")
+    if profile == "uniform":
+        return [1.0] * waves
+    if profile == "flash":
+        return [0.5 ** w for w in range(waves)]
+    if profile == "diurnal":
+        return [1.0 - math.cos(2.0 * math.pi * (w + 0.5) / waves) for w in range(waves)]
+    raise _spec_error(f"unknown wave profile {profile!r}")
+
+
+def tier_multipliers(tiers: int, spread: float) -> List[float]:
+    """Per-tier goodput multipliers spanning ``[1-spread, 1+spread]``.
+
+    One tier collapses to the nominal rate; the mean multiplier is
+    always 1.0, so tiering redistributes bandwidth without changing the
+    population's aggregate capacity.
+    """
+    if tiers < 1:
+        raise _spec_error("need at least one rate tier")
+    if not 0.0 <= spread < 1.0:
+        raise _spec_error("rate spread must lie in [0, 1)")
+    if tiers == 1:
+        return [1.0]
+    return [
+        1.0 - spread + 2.0 * spread * k / (tiers - 1) for k in range(tiers)
+    ]
+
+
+__all__ = ["apportion", "zipf_shares", "wave_weights", "tier_multipliers"]

@@ -1,0 +1,97 @@
+"""PopulationSpec and the fidelity knob at the spec layer."""
+
+import pytest
+
+from repro.api import ExperimentSpec, PopulationSpec, SpecError, specs
+from repro.api.spec import FIDELITIES, MeasurementSpec, WAVE_PROFILES
+
+
+class TestFidelityKnob:
+    def test_default_is_packet(self):
+        assert MeasurementSpec().fidelity == "packet"
+
+    def test_catalog(self):
+        assert set(FIDELITIES) == {"packet", "flow"}
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(SpecError, match="fidelity"):
+            MeasurementSpec(fidelity="warp")
+
+    def test_with_override_validates(self):
+        spec = specs.population_flash_crowd()
+        assert spec.with_override(
+            "measurement.fidelity", "packet"
+        ).measurement.fidelity == "packet"
+        with pytest.raises(SpecError, match="fidelity"):
+            spec.with_override("measurement.fidelity", "warp")
+
+
+class TestPopulationSpec:
+    def test_defaults_validate(self):
+        pop = PopulationSpec()
+        assert pop.size == 10_000
+        assert pop.wave_profile in WAVE_PROFILES
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("size", 0),
+            ("objects", 0),
+            ("zipf_skew", -0.1),
+            ("waves", 0),
+            ("wave_profile", "tsunami"),
+            ("wave_interval", 0.0),
+            ("seeded_fraction", 1.0),
+            ("rate", 0.0),
+            ("loss_rate", 1.0),
+            ("rate_tiers", 0),
+            ("rate_spread", 1.0),
+            ("sample_cap", 8),
+            ("max_connections", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(SpecError):
+            PopulationSpec(**{field: value})
+
+    def test_json_round_trip(self):
+        spec = specs.population_flash_crowd(
+            population=512, objects=3, waves=5, wave_profile="diurnal",
+            fidelity="flow", policy="random", seed=21,
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.population.objects == 3
+        assert restored.measurement.fidelity == "flow"
+
+    def test_spec_without_population_round_trips_to_none(self):
+        spec = specs.flash_crowd()
+        assert spec.population is None
+        assert ExperimentSpec.from_json(spec.to_json()).population is None
+
+    def test_population_dotted_overrides(self):
+        spec = specs.population_flash_crowd()
+        out = (
+            spec.with_override("population.size", 123_456)
+            .with_override("population.wave_profile", "uniform")
+            .with_override("population.rate_tiers", 4)
+        )
+        assert out.population.size == 123_456
+        assert out.population.wave_profile == "uniform"
+        assert out.population.rate_tiers == 4
+        # The original frozen spec is untouched.
+        assert spec.population.size != 123_456
+
+    def test_population_override_on_specless_base_defaults_the_component(self):
+        # _DEFAULTABLE_COMPONENTS: a dotted population.* override on a
+        # spec without a population materialises the default component.
+        spec = specs.flash_crowd().with_override("population.size", 99)
+        assert spec.population is not None
+        assert spec.population.size == 99
+
+    def test_invalid_population_override_rejected(self):
+        spec = specs.population_flash_crowd()
+        with pytest.raises(SpecError):
+            spec.with_override("population.wave_profile", "tsunami")
+        with pytest.raises(SpecError):
+            spec.with_override("population.size", 0)

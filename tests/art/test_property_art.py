@@ -1,6 +1,6 @@
 """Property-based tests for ART invariants."""
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.art import (
@@ -56,6 +56,9 @@ class TestSearchProperties:
     def test_exact_summary_search_is_exact(self, common, only_b):
         trie_a = ReconciliationTrie(common, seed=7)
         trie_b = ReconciliationTrie(common | only_b, seed=7)
+        # The search is exact only up to H1 collisions: a collision merges
+        # two keys into one leaf, whose XORed value matches neither side.
+        assume(trie_a.collision_count == 0 and trie_b.collision_count == 0)
         stats = find_difference(trie_b, ExactTreeSummary(trie_a), correction=0)
         assert set(stats.differences) == only_b
 
@@ -77,5 +80,9 @@ class TestSearchProperties:
         art_b = ApproximateReconciliationTree(
             common | only_b, bits_per_element=bits, seed=9
         )
+        # Bloom errors only ever hide differences, but an H1 collision can
+        # merge a common key with a genuinely-new one, and the merged leaf
+        # then (correctly) surfaces under the common key's name.
+        assume(art_a.trie.collision_count == 0 and art_b.trie.collision_count == 0)
         stats = art_b.difference_against(art_a.summary(), correction=correction)
         assert set(stats.differences) <= only_b

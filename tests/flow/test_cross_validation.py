@@ -1,0 +1,129 @@
+"""Fidelity cross-validation: flow vs packet on overlapping small-N cells.
+
+The flow engine is only trustworthy at 1M peers if it reproduces the
+packet engines where both can run.  Every cell below runs the same
+population at both fidelities and pins the flow metrics inside
+documented tolerance bands:
+
+* ``useful_fraction`` — absolute difference <= 0.1 (observed max
+  across the calibration grid: 0.049);
+* ``last_completion_tick`` / ``mean_completion_tick`` — flow/packet
+  ratio in [0.8, 1.25] (observed: [0.94, 1.01]);
+* ``completed_fraction`` — exactly equal (both fidelities must finish
+  the same populations).
+
+The bands hold with and without numpy because both engines' membership
+arithmetic is integer apportionment and the flow data plane is scalar
+Python (numpy touches only the min-wise card builds, whose outputs are
+integer minima either way).
+"""
+
+import time
+
+import pytest
+
+from repro.api import run, specs
+from repro.campaign import CampaignSpec, GridAxis, run_campaign
+
+USEFUL_FRACTION_TOL = 0.1
+COMPLETION_RATIO_BAND = (0.8, 1.25)
+
+CELLS = [
+    dict(population=48, target=60, waves=2, seed=5),
+    dict(population=96, target=48, waves=3, objects=2, seed=7),
+    dict(population=64, target=48, waves=2, seed=9, loss_rate=0.05),
+    dict(
+        population=80, target=48, waves=2, seed=13,
+        wave_profile="uniform", rate_tiers=1,
+    ),
+]
+
+
+def _assert_within_bands(packet, flow, label):
+    assert packet["completed_fraction"] == flow["completed_fraction"], label
+    assert abs(packet["useful_fraction"] - flow["useful_fraction"]) <= (
+        USEFUL_FRACTION_TOL
+    ), f"{label}: useful_fraction {packet['useful_fraction']:.3f} vs {flow['useful_fraction']:.3f}"
+    lo, hi = COMPLETION_RATIO_BAND
+    for key in ("last_completion_tick", "mean_completion_tick"):
+        ratio = flow[key] / packet[key]
+        assert lo <= ratio <= hi, f"{label}: {key} ratio {ratio:.3f}"
+
+
+class TestOverlappingCells:
+    @pytest.mark.parametrize("cell", range(len(CELLS)))
+    @pytest.mark.parametrize("policy", ["informed", "random", "static"])
+    def test_flow_within_tolerance_of_packet(self, cell, policy):
+        kw = CELLS[cell]
+        packet = run(
+            specs.population_flash_crowd(fidelity="packet", policy=policy, **kw)
+        ).metrics
+        flow = run(
+            specs.population_flash_crowd(fidelity="flow", policy=policy, **kw)
+        ).metrics
+        _assert_within_bands(packet, flow, f"cell {cell} policy {policy}")
+
+
+class TestCampaignGrid:
+    def test_fidelity_by_policy_campaign_cross_validates(self):
+        # The miniature grid the CLI exposes (--campaign-scenario),
+        # through the real multiprocess executor.
+        campaign = CampaignSpec(
+            base=specs.population_flash_crowd(
+                population=64, target=48, waves=2, seed=9
+            ),
+            grid=(
+                GridAxis("measurement.fidelity", ("packet", "flow")),
+                GridAxis("reconfig.policy", ("informed", "random")),
+            ),
+        )
+        result = run_campaign(campaign, workers=2)
+        assert result.n_failed == 0
+        assert result.n_completed == result.n_cells == 4
+        by_cell = {
+            (
+                cell.override("measurement.fidelity"),
+                cell.override("reconfig.policy"),
+            ): cell.result["metrics"]
+            for cell in result.cells
+        }
+        for policy in ("informed", "random"):
+            _assert_within_bands(
+                by_cell[("packet", policy)],
+                by_cell[("flow", policy)],
+                f"campaign policy {policy}",
+            )
+
+    def test_population_axis_is_sweepable(self):
+        campaign = CampaignSpec(
+            base=specs.population_flash_crowd(
+                population=32, target=48, waves=2, seed=9, fidelity="flow"
+            ),
+            grid=(GridAxis("population.size", (32, 64)),),
+        )
+        result = run_campaign(campaign, workers=1)
+        assert result.n_failed == 0
+        sizes = sorted(
+            cell.result["metrics"]["population"] for cell in result.cells
+        )
+        assert sizes == [32.0, 64.0]
+
+
+@pytest.mark.slow
+class TestMillionPeerAcceptance:
+    def test_million_peer_informed_run_completes_in_minutes(self):
+        start = time.monotonic()
+        result = run(
+            specs.population_flash_crowd(
+                population=1_000_000, objects=4, waves=6, seed=11,
+                fidelity="flow", policy="informed",
+            )
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 300.0, f"1M-peer run took {elapsed:.1f}s"
+        assert result.completed
+        m = result.metrics
+        assert m["population"] == 1_000_000
+        assert m["completed_fraction"] == 1.0
+        assert m["reconfig_control_bytes"] > 0
+        assert 0.0 < m["useful_fraction"] <= 1.0

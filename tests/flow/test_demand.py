@@ -1,0 +1,97 @@
+"""Deterministic demand arithmetic: the layer both fidelities share."""
+
+import math
+
+import pytest
+
+from repro.api.spec import SpecError
+from repro.flow.demand import apportion, tier_multipliers, wave_weights, zipf_shares
+
+
+class TestApportion:
+    def test_exact_sum_and_proportionality(self):
+        counts = apportion(100, [1.0, 1.0, 2.0])
+        assert sum(counts) == 100
+        assert counts == [25, 25, 50]
+
+    def test_largest_remainder_hands_out_the_shortfall(self):
+        # 10 over three equal buckets: 3.33 each -> two buckets round up.
+        counts = apportion(10, [1.0, 1.0, 1.0])
+        assert sum(counts) == 10
+        assert sorted(counts) == [3, 3, 4]
+
+    def test_ties_break_by_position(self):
+        # Equal remainders: earlier buckets win the leftover units.
+        assert apportion(10, [1.0, 1.0, 1.0]) == [4, 3, 3]
+
+    def test_zero_total(self):
+        assert apportion(0, [1.0, 2.0]) == [0, 0]
+
+    def test_nonpositive_weights_get_nothing(self):
+        assert apportion(6, [0.0, 3.0, -1.0]) == [0, 6, 0]
+
+    def test_exact_sum_over_many_random_like_weights(self):
+        weights = [1.0 / (k + 1) ** 0.8 for k in range(37)]
+        for total in (0, 1, 17, 1_000, 999_999):
+            counts = apportion(total, weights)
+            assert sum(counts) == total
+            assert all(c >= 0 for c in counts)
+
+    def test_rejections(self):
+        with pytest.raises(SpecError):
+            apportion(-1, [1.0])
+        with pytest.raises(SpecError):
+            apportion(5, [])
+        with pytest.raises(SpecError):
+            apportion(5, [0.0, -2.0])
+
+
+class TestZipfShares:
+    def test_rank_one_dominates(self):
+        shares = zipf_shares(4, 0.8)
+        assert shares[0] == 1.0
+        assert shares == sorted(shares, reverse=True)
+
+    def test_zero_skew_is_uniform(self):
+        assert zipf_shares(3, 0.0) == [1.0, 1.0, 1.0]
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(SpecError):
+            zipf_shares(0, 0.8)
+
+
+class TestWaveWeights:
+    def test_uniform(self):
+        assert wave_weights("uniform", 3) == [1.0, 1.0, 1.0]
+
+    def test_flash_is_front_loaded_geometric(self):
+        assert wave_weights("flash", 3) == [1.0, 0.5, 0.25]
+
+    def test_diurnal_peaks_mid_sequence(self):
+        w = wave_weights("diurnal", 8)
+        assert all(v >= 0.0 for v in w)
+        peak = max(range(8), key=lambda i: w[i])
+        assert peak in (3, 4)
+
+    def test_rejections(self):
+        with pytest.raises(SpecError):
+            wave_weights("flash", 0)
+        with pytest.raises(SpecError):
+            wave_weights("tsunami", 3)
+
+
+class TestTierMultipliers:
+    def test_single_tier_is_nominal(self):
+        assert tier_multipliers(1, 0.25) == [1.0]
+
+    def test_span_and_unit_mean(self):
+        mults = tier_multipliers(4, 0.3)
+        assert mults[0] == pytest.approx(0.7)
+        assert mults[-1] == pytest.approx(1.3)
+        assert math.fsum(mults) / 4 == pytest.approx(1.0)
+
+    def test_rejections(self):
+        with pytest.raises(SpecError):
+            tier_multipliers(0, 0.1)
+        with pytest.raises(SpecError):
+            tier_multipliers(2, 1.0)

@@ -1,0 +1,156 @@
+"""The population_flash_crowd scenario: both fidelities, one contract."""
+
+import pytest
+
+from repro.api import SpecError, build, registry, run, specs
+
+#: Every key both fidelities must report (the shared vocabulary the
+#: cross-validation campaigns difference cell by cell).
+SHARED_KEYS = {
+    "population",
+    "peers_completed",
+    "completed_fraction",
+    "ticks",
+    "packets_sent",
+    "packets_lost",
+    "packets_useful",
+    "useful_fraction",
+    "last_completion_tick",
+    "mean_completion_tick",
+    "reconfigurations",
+    "reconfig_epochs",
+    "reconfig_control_bytes",
+}
+
+
+def _small(**kw):
+    base = dict(
+        population=16, target=48, waves=2, wave_interval=5.0,
+        seeded_fraction=0.25, rate_tiers=2, seed=9, max_ticks=2_000,
+    )
+    base.update(kw)
+    return specs.population_flash_crowd(**base)
+
+
+class TestBothFidelities:
+    @pytest.mark.parametrize("fidelity", ["packet", "flow"])
+    def test_runs_to_completion_with_shared_metric_keys(self, fidelity):
+        result = run(_small(fidelity=fidelity))
+        assert result.completed
+        assert SHARED_KEYS <= set(result.metrics)
+        m = result.metrics
+        assert m["population"] == 16
+        assert m["peers_completed"] == 16
+        assert m["completed_fraction"] == 1.0
+        assert 0.0 < m["useful_fraction"] <= 1.0
+        assert m["reconfig_control_bytes"] > 0
+
+    @pytest.mark.parametrize("fidelity", ["packet", "flow"])
+    def test_deterministic(self, fidelity):
+        spec = _small(fidelity=fidelity)
+        assert run(spec).metrics == run(spec).metrics
+
+    def test_multi_object_zipf_population(self):
+        result = run(_small(fidelity="flow", population=64, objects=3))
+        assert result.metrics["population"] == 64
+        # Zipf rank 1 dominates: the first object's origin exists and
+        # the run still accounts every peer.
+        assert result.metrics["peers_completed"] == 64
+
+    def test_flow_engine_choice_is_irrelevant_to_flow_fidelity(self):
+        a = run(_small(fidelity="flow"))
+        b = run(_small(fidelity="flow").with_override("measurement.engine", "columnar"))
+        assert a.metrics == b.metrics
+
+    def test_packet_fidelity_runs_on_the_columnar_engine(self):
+        result = run(
+            _small(fidelity="packet").with_override("measurement.engine", "columnar")
+        )
+        assert result.completed
+        assert result.metrics["population"] == 16
+
+
+class TestRegistryGuards:
+    def test_flow_fidelity_rejected_on_packet_only_scenarios(self):
+        spec = registry.small_spec("flash_crowd").with_override(
+            "measurement.fidelity", "flow"
+        )
+        with pytest.raises(SpecError, match="supports fidelity"):
+            build(spec)
+
+    def test_population_spec_rejected_on_scenarios_without_one(self):
+        pop = _small().population
+        spec = registry.small_spec("flash_crowd").with_override(
+            "population.size", pop.size
+        )
+        with pytest.raises(SpecError, match="no population model"):
+            build(spec)
+
+    def test_population_scenario_requires_a_population(self):
+        import dataclasses
+
+        spec = dataclasses.replace(_small(), population=None)
+        with pytest.raises(SpecError, match="requires a population"):
+            build(spec)
+
+    def test_swarm_node_groups_rejected(self):
+        from repro.api.spec import NodeSpec
+
+        spec = _small()
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            swarm=dataclasses.replace(
+                spec.swarm, nodes=(NodeSpec(name="peer", count=4),)
+            ),
+        )
+        with pytest.raises(SpecError, match="no node groups"):
+            build(spec)
+
+    def test_churn_rejected(self):
+        from repro.api.spec import ChurnSpec
+
+        import dataclasses
+
+        spec = dataclasses.replace(_small(), churn=ChurnSpec())
+        with pytest.raises(SpecError, match="arrival waves"):
+            build(spec)
+
+    def test_flow_rejects_data_plane_summary_selection(self):
+        spec = _small(fidelity="flow").with_override(
+            "strategy.summary.kind", "bloom"
+        )
+        with pytest.raises(SpecError, match="aggregate"):
+            build(spec)
+
+    def test_flow_rejects_reconfig_jitter(self):
+        spec = _small(fidelity="flow").with_override("reconfig.jitter", 0.5)
+        with pytest.raises(SpecError, match="jitter"):
+            build(spec)
+
+    def test_packet_fidelity_accepts_jitter(self):
+        result = run(_small(fidelity="packet").with_override("reconfig.jitter", 0.5))
+        assert result.completed
+
+
+class TestPolicyArms:
+    @pytest.mark.parametrize("policy", ["informed", "random", "static"])
+    @pytest.mark.parametrize("fidelity", ["packet", "flow"])
+    def test_every_arm_completes(self, fidelity, policy):
+        result = run(_small(fidelity=fidelity, policy=policy))
+        assert result.completed
+        if policy == "static":
+            assert result.metrics["reconfig_epochs"] == 0
+            assert result.metrics["reconfig_control_bytes"] == 0
+        else:
+            assert result.metrics["reconfig_epochs"] > 0
+
+    def test_informed_summary_kind_is_selectable(self):
+        result = run(_small(fidelity="flow", summary_kind="bloom"))
+        assert result.completed
+        assert result.metrics["reconfig_control_bytes"] > 0
+
+    def test_summary_kind_outside_informed_rejected(self):
+        with pytest.raises(SpecError, match="informed"):
+            _small(policy="random", summary_kind="bloom")

@@ -1,0 +1,96 @@
+"""scripts/validate_bench.py: the CI bench-baseline schema gate.
+
+The gate must fail loudly when there is nothing to gate — a missing
+output directory (benchmarks never ran) and an empty one (benchmarks
+ran but dumped nothing) are both errors, with distinct messages.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "validate_bench.py")
+
+
+@pytest.fixture(scope="module")
+def validate_bench():
+    spec = importlib.util.spec_from_file_location("validate_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+class TestEmptyInputs:
+    def test_missing_directory_fails_with_its_own_message(
+        self, validate_bench, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "never-created")
+        assert validate_bench.validate_dir(missing) == 1
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "REPRO_BENCH_JSON" in err
+
+    def test_directory_with_zero_dumps_fails(
+        self, validate_bench, tmp_path, capsys
+    ):
+        assert validate_bench.validate_dir(str(tmp_path)) == 1
+        err = capsys.readouterr().err
+        assert "no BENCH_*.json" in err
+
+    def test_usage_error_without_a_directory_argument(self, validate_bench):
+        assert validate_bench.main(["validate_bench.py"]) == 1
+
+
+class TestValidation:
+    def test_valid_bench_meta_passes(self, validate_bench, tmp_path):
+        _write(
+            tmp_path / "BENCH_x.json",
+            [{"schema": "repro.bench_meta/1", "name": "t_run", "seconds": 1.5}],
+        )
+        assert validate_bench.validate_dir(str(tmp_path)) == 0
+
+    def test_unknown_schema_fails(self, validate_bench, tmp_path):
+        _write(
+            tmp_path / "BENCH_x.json",
+            [{"schema": "repro.surprise/9", "name": "t_run"}],
+        )
+        assert validate_bench.validate_dir(str(tmp_path)) == 1
+
+    def test_non_array_payload_fails(self, validate_bench, tmp_path):
+        _write(tmp_path / "BENCH_x.json", {"schema": "repro.bench_meta/1"})
+        assert validate_bench.validate_dir(str(tmp_path)) == 1
+
+    def test_real_run_result_passes(self, validate_bench, tmp_path):
+        from repro.api import run, specs
+
+        result = run(
+            specs.population_flash_crowd(
+                population=16, target=48, waves=2, seeded_fraction=0.25,
+                seed=9, max_ticks=2_000,
+            )
+        )
+        _write(tmp_path / "BENCH_pop.json", [result.to_dict()])
+        assert validate_bench.validate_dir(str(tmp_path)) == 0
+
+    def test_drifted_result_key_fails_closed_world(
+        self, validate_bench, tmp_path
+    ):
+        from repro.api import run, specs
+
+        payload = run(
+            specs.population_flash_crowd(
+                population=16, target=48, waves=2, seeded_fraction=0.25,
+                seed=9, max_ticks=2_000,
+            )
+        ).to_dict()
+        payload["surprise_key"] = True
+        _write(tmp_path / "BENCH_pop.json", [payload])
+        assert validate_bench.validate_dir(str(tmp_path)) == 1
