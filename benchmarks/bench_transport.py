@@ -1,0 +1,114 @@
+"""Transport subsystem cost: controller hot path and policy sweep.
+
+Not a paper figure — this benchmarks the machinery PR 8 adds under the
+swarm senders: the per-packet congestion-controller step (allowance /
+on_send / on_ack through the rtx manager) that every transport-paced
+connection now pays, and the end-to-end cost of a congested_swarm run
+per policy.  The controller-step throughput bounds how many paced
+connections a tick can afford; the policy sweep shows what each
+controller buys (or costs) on the shared-bottleneck scenario's
+headline metrics.
+
+With ``REPRO_BENCH_JSON=<dir>`` the benchmark emits
+``BENCH_transport.json``: one ``repro.run_result/1`` entry for the
+seeded congested_swarm miniature run plus ``repro.bench_meta/1``
+timing entries per policy — validated by ``scripts/validate_bench.py``.
+"""
+
+import time
+
+from conftest import print_series, write_bench_json
+
+from repro.transport import RtxManager, TransportController, build_policy
+
+#: Registered policies the hot-path and sweep rows cover.
+POLICIES = ("open_loop", "aimd", "bbr_lite")
+
+STEPS = 20_000
+
+
+def _drive_controller(kind, steps=STEPS):
+    """Send/ack ``steps`` packets through a fresh controller; return wall."""
+    ctrl = TransportController(build_policy(kind), RtxManager(), name=kind)
+    now = 0.0
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        now += 0.1
+        budget = ctrl.allowance(now, 4, window=0.1)
+        for _ in range(budget):
+            seq = ctrl.on_send(now)
+            ctrl.on_ack(now + 1.0, seq)
+    wall = time.perf_counter() - t0
+    return wall, ctrl
+
+
+def test_controller_step_throughput(benchmark):
+    rows = []
+    meta_entries = []
+
+    def sweep():
+        rows.clear()
+        meta_entries.clear()
+        for kind in POLICIES:
+            wall, ctrl = _drive_controller(kind)
+            rate = STEPS / wall
+            rows.append(
+                f"policy={kind:9s} steps={STEPS}  steps/s={rate:10.0f}  "
+                f"acked={ctrl.acked:6d}  wall={wall:6.3f}s"
+            )
+            meta_entries.append(
+                {
+                    "schema": "repro.bench_meta/1",
+                    "name": f"transport_step_{kind}",
+                    "steps": STEPS,
+                    "steps_per_second": rate,
+                    "acked": ctrl.acked,
+                    "wall_seconds": wall,
+                }
+            )
+            assert ctrl.acked > 0
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("controller step throughput", rows)
+
+    from repro.api import registry, run
+
+    result = run(registry.small_spec("congested_swarm"))
+    assert result.completed
+    write_bench_json("transport", [result] + meta_entries)
+
+
+def test_congested_swarm_policy_sweep(benchmark):
+    """Each policy runs the miniature congested swarm; drops must react."""
+    from repro.api import registry, run
+
+    small = registry.small_spec("congested_swarm")
+
+    def sweep():
+        out = []
+        for kind in POLICIES:
+            spec = small.with_override("transport.policy", kind)
+            t0 = time.perf_counter()
+            metrics = run(spec).metrics
+            out.append((kind, metrics, time.perf_counter() - t0))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        f"policy={kind:9s} goodput={m['goodput']:6.3f}  "
+        f"drop_rate={m['queue_drop_rate']:5.3f}  "
+        f"delay={m['queue_delay_mean']:5.3f}  "
+        f"useful_frac={m['useful_fraction']:5.3f}  wall={wall:6.3f}s"
+        for kind, m, wall in results
+    ]
+    print_series("congested_swarm policy sweep", rows)
+    by_kind = {kind: m for kind, m, _ in results}
+    # The closed-loop controller must shed load the open-loop swarm
+    # dumps into the queue — that's the subsystem's entire point.
+    assert (
+        by_kind["aimd"]["queue_drop_rate"]
+        < by_kind["open_loop"]["queue_drop_rate"]
+    )
+    for m in by_kind.values():
+        assert m["queue_delay_mean"] > 0.0

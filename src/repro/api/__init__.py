@@ -44,6 +44,7 @@ from repro.api.spec import (
     StrategySpec,
     SummarySpec,
     SwarmSpec,
+    TransportSpec,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "ReconfigSpec",
     "MeasurementSpec",
     "PopulationSpec",
+    "TransportSpec",
     "BuiltExperiment",
     "build",
     "run",

@@ -33,7 +33,13 @@ from typing import List, Optional
 
 from repro.api import registry, run
 from repro.api.output import prepare_out_file
-from repro.api.spec import ExperimentSpec, ReconfigSpec, SpecError, SummarySpec
+from repro.api.spec import (
+    ExperimentSpec,
+    ReconfigSpec,
+    SpecError,
+    SummarySpec,
+    TransportSpec,
+)
 from repro.reconcile import SummaryError
 
 
@@ -113,6 +119,43 @@ def parse_reconfig_arg(text: str) -> ReconfigSpec:
         raise SpecError(f"--reconfig: {exc}") from exc
 
 
+#: ``--transport`` keys that are TransportSpec fields; every other key
+#: becomes a policy parameter (e.g. ``beta`` for aimd).
+_TRANSPORT_FIELDS = frozenset(
+    {"bottleneck_rate", "bottleneck_buffer", "rto_min", "rto_max"}
+)
+
+
+def parse_transport_arg(text: str) -> TransportSpec:
+    """Parse ``policy[:param=val,...]`` into a :class:`TransportSpec`.
+
+    ``bottleneck_rate``/``bottleneck_buffer``/``rto_min``/``rto_max``
+    map to :class:`TransportSpec` fields; every other key is a policy
+    parameter.  Examples::
+
+        --transport open_loop
+        --transport aimd:beta=0.7,bottleneck_rate=12,bottleneck_buffer=32
+        --transport bbr_lite:probe_gain=1.5
+
+    Malformed input raises :class:`SpecError` (CLI exit status 2).
+    """
+    policy, _, tail = text.partition(":")
+    policy = policy.strip()
+    if not policy:
+        raise SpecError("--transport needs a policy kind before ':'")
+    fields = {}
+    params = {}
+    for key, parsed in _parse_kv_params(tail, "--transport").items():
+        if key in _TRANSPORT_FIELDS:
+            fields[key] = parsed
+        else:
+            params[key] = parsed
+    try:
+        return TransportSpec(policy=policy, params=params, **fields)
+    except TypeError as exc:
+        raise SpecError(f"--transport: {exc}") from exc
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.api",
@@ -183,6 +226,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--transport",
+        metavar="POLICY[:PARAM=VAL,...]",
+        help=(
+            "override the spec's transport policy, e.g. 'open_loop', "
+            "'aimd:beta=0.7,bottleneck_rate=12,bottleneck_buffer=32', "
+            "'bbr_lite:probe_gain=1.5'"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         metavar="NAME",
         help=(
@@ -234,6 +286,10 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
         )
     if args.reconfig:
         spec = dataclasses.replace(spec, reconfig=parse_reconfig_arg(args.reconfig))
+    if args.transport:
+        spec = dataclasses.replace(
+            spec, transport=parse_transport_arg(args.transport)
+        )
     # with_override validates the value (unknown engine/fidelity ->
     # SpecError -> exit status 2), unlike a bare dataclasses.replace.
     if args.engine:
@@ -265,6 +321,10 @@ def _load_campaign(args: argparse.Namespace):
         )
     if args.reconfig:
         base = dataclasses.replace(base, reconfig=parse_reconfig_arg(args.reconfig))
+    if args.transport:
+        base = dataclasses.replace(
+            base, transport=parse_transport_arg(args.transport)
+        )
     if args.engine:
         base = base.with_override("measurement.engine", args.engine)
     if args.fidelity:

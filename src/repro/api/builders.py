@@ -72,8 +72,13 @@ from repro.sim.links import (
     LinkModel,
 )
 from repro.sim.scenarios import SimScenario
-from repro.sim.sessions import ScheduledSession, run_sessions
+from repro.sim.sessions import (
+    DEFAULT_PACKET_BUDGET_FACTOR,
+    ScheduledSession,
+    run_sessions,
+)
 from repro.sim.stats import StatsRecorder
+from repro.transport import BottleneckLink, BottleneckQueue, TransportManager
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +215,56 @@ def _reconfig_sim_kwargs(spec: ExperimentSpec, swarm: SwarmSpec) -> Dict[str, fl
     }
 
 
+def _transport_setup(
+    spec: ExperimentSpec,
+    stats: Optional[StatsRecorder],
+    link_factory: Optional[Callable[..., LinkModel]] = None,
+):
+    """(extra simulator kwargs, link factory) for the spec's transport.
+
+    ``transport`` unset returns the inputs untouched — the builders
+    stay on their bit-identical historical paths.  Set, it assembles
+    the subsystem: an explicit :class:`EventScheduler` (the bottleneck
+    queue reads its clock), a shared :class:`BottleneckQueue` when
+    ``bottleneck_rate > 0``, a :class:`TransportManager` handing each
+    connection its own congestion controller, and a link factory
+    wrapping every constructed link in a :class:`BottleneckLink` so all
+    senders contend for the one queue.
+    """
+    ts = spec.transport
+    if ts is None:
+        return {}, link_factory
+    scheduler = EventScheduler()
+    queue = None
+    if ts.bottleneck_rate > 0:
+        queue = BottleneckQueue(
+            ts.bottleneck_rate,
+            ts.bottleneck_buffer,
+            clock=scheduler,
+            stats=stats,
+        )
+        base_factory = link_factory
+
+        def bottlenecked(
+            chars: PathCharacteristics, sender_id: str, receiver_id: str
+        ) -> LinkModel:
+            if base_factory is not None:
+                inner = base_factory(chars, sender_id, receiver_id)
+            else:
+                inner = ConstantRateLink(chars.bandwidth, chars.loss_rate)
+            return BottleneckLink(inner, queue)
+
+        link_factory = bottlenecked
+    manager = TransportManager(
+        ts.policy,
+        ts.params_dict(),
+        rto_min=ts.rto_min,
+        rto_max=ts.rto_max,
+        queue=queue,
+    )
+    return {"scheduler": scheduler, "transport": manager}, link_factory
+
+
 def _reject_reconfig(spec: ExperimentSpec) -> None:
     """Refuse a reconfig selection on a scenario with no overlay to adapt."""
     if spec.reconfig is not None:
@@ -249,6 +304,7 @@ def _base_simulator(
         else None
     )
     admission, rewiring = _reconfig_policies(spec, rng)
+    transport_kwargs, link_factory = _transport_setup(spec, stats, link_factory)
     sim = simulator_class(spec)(
         VirtualTopology(),
         family,
@@ -259,6 +315,7 @@ def _base_simulator(
         rng=rng,
         link_factory=link_factory,
         stats=stats,
+        **transport_kwargs,
         **_reconfig_sim_kwargs(spec, swarm),
     )
     return sim, family, stats
@@ -382,6 +439,10 @@ def _schedule_shared_process_steps(
     """Step each shared loss chain once per tick, logging transitions."""
     for key in sorted(shared):
         process = shared[key]
+        if scenario_obj.stats is not None:
+            process.attach_stats(
+                scenario_obj.stats, entity=f"loss:{key}", clock=sim.scheduler
+            )
 
         def step(process=process, key=key) -> None:
             was_bad = process.bad
@@ -440,6 +501,10 @@ def _run_swarm(built: BuiltExperiment) -> RunResult:
         # the pre-refactor set (parity-pinned).
         metrics["reconfig_epochs"] = float(report.reconfig_epochs)
         metrics["reconfig_control_bytes"] = float(report.control_bytes)
+    if built.spec.transport is not None:
+        manager = scenario_obj.simulator.transport
+        if manager is not None:
+            metrics.update(manager.totals())
     return RunResult(
         spec=built.spec,
         completed=report.all_complete,
@@ -507,6 +572,7 @@ def flash_crowd(
         num_peers=10, target=40, initial_seeded=2, waves=2, wave_interval=5, seed=1
     ),
     description="Waves of empty peers rush a small seeded swarm",
+    supports_transport=True,
 )
 def build_flash_crowd(spec: ExperimentSpec) -> BuiltExperiment:
     """Joiners run the Section 4 join decision at their scheduled time."""
@@ -633,6 +699,7 @@ def source_departure(
     "source_departure",
     small_spec=lambda: source_departure(num_peers=6, target=60, depart_at=5.0, seed=2),
     description="The only source leaves mid-transfer; the swarm finishes alone",
+    supports_transport=True,
 )
 def build_source_departure(spec: ExperimentSpec) -> BuiltExperiment:
     """Completion after the departure needs peer-to-peer reconciliation."""
@@ -768,6 +835,7 @@ def asymmetric_bandwidth_swarm(*args, **kwargs) -> ExperimentSpec:
         num_fast=3, num_slow=3, target=40, seed=3
     ),
     description="A fast backbone class and a slow, jittery edge class in one swarm",
+    supports_transport=True,
 )
 def build_asymmetric_bandwidth(spec: ExperimentSpec) -> BuiltExperiment:
     """Heterogeneous per-connection link models from the swarm's rules."""
@@ -889,6 +957,7 @@ def correlated_regional_loss(
     "correlated_regional_loss",
     small_spec=lambda: correlated_regional_loss(peers_per_region=3, target=40, seed=4),
     description="Two regions bridged by a trunk with shared bursty loss",
+    supports_transport=True,
 )
 def build_correlated_regional_loss(spec: ExperimentSpec) -> BuiltExperiment:
     """All inter-region links share one Gilbert-Elliott chain."""
@@ -1217,6 +1286,7 @@ def session_swarm(
     "session_swarm",
     small_spec=lambda: session_swarm(num_receivers=2, num_blocks=40, seed=7),
     description="One source serving N receivers with byte-level protocol sessions",
+    supports_transport=True,
 )
 def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
     """Full-protocol sessions paced by link models on a shared clock."""
@@ -1234,6 +1304,17 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
                 f"max_packets={spec.measurement.max_packets} is smaller than "
                 f"one packet per receiver"
             )
+    else:
+        # The per-session budget default, spec-addressable: a multiple
+        # of the recovery target rather than a magic constant.
+        factor = float(
+            spec.param("packet_budget_factor", DEFAULT_PACKET_BUDGET_FACTOR)
+        )
+        if factor <= 0:
+            raise SpecError(
+                f"packet_budget_factor must be positive, got {factor!r}"
+            )
+        session_cap = max(1, int(factor * swarm.target))
     src_group = _source_group(swarm)
     src_name = src_group.member_ids()[0]
     receivers = swarm.group("dst")
@@ -1266,6 +1347,24 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
             rng=derive_rng(spec.seed, "session_swarm", src_name),
             summary_policy=policy,
         )
+        ts = spec.transport
+        queue = None
+        manager = None
+        if ts is not None:
+            if ts.bottleneck_rate > 0:
+                queue = BottleneckQueue(
+                    ts.bottleneck_rate,
+                    ts.bottleneck_buffer,
+                    clock=scheduler,
+                    stats=stats,
+                )
+            manager = TransportManager(
+                ts.policy,
+                ts.params_dict(),
+                rto_min=ts.rto_min,
+                rto_max=ts.rto_max,
+                queue=queue,
+            )
         drivers = []
         sessions = {}
         shared: Dict[str, GilbertElliottProcess] = {}
@@ -1283,22 +1382,35 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
                 rng=derive_rng(spec.seed, "session_swarm", name, "session"),
             )
             sessions[name] = session
+            link = _build_link(link_spec, shared)
+            if queue is not None:
+                link = BottleneckLink(link, queue)
+            ctrl = manager.attach(name) if manager is not None else None
             drivers.append(
                 ScheduledSession(
                     scheduler,
                     session,
-                    _build_link(link_spec, shared),
+                    link,
                     name=name,
                     stats=stats,
                     max_packets=session_cap,
+                    transport=ctrl,
+                    rng=(
+                        derive_rng(spec.seed, "session_swarm", name, "transport")
+                        if ctrl is not None
+                        else None
+                    ),
                 ).start()
             )
         # Keyed Gilbert-Elliott chains are shared across the sessions'
         # links and stepped once per time unit, as in the swarm builders.
         loss_rng = derive_rng(spec.seed, "session_swarm", "loss")
         for key in sorted(shared):
+            process = shared[key]
+            if stats is not None:
+                process.attach_stats(stats, entity=f"loss:{key}", clock=scheduler)
             scheduler.schedule_every(
-                1.0, lambda process=shared[key]: process.step(loss_rng), first=0.5
+                1.0, lambda process=process: process.step(loss_rng), first=0.5
             )
         run_sessions(scheduler, drivers, max_time=float(spec.measurement.max_ticks))
         node_sessions = {name: s.stats for name, s in sessions.items()}
@@ -1320,6 +1432,8 @@ def build_session_swarm(spec: ExperimentSpec) -> BuiltExperiment:
         if durations:
             metrics["mean_duration"] = sum(durations) / len(durations)
             metrics["max_duration"] = max(durations)
+        if manager is not None:
+            metrics.update(manager.totals())
         return RunResult(
             spec=spec,
             completed=completed,
@@ -1369,6 +1483,7 @@ def figure1(
     "figure1",
     small_spec=lambda: figure1(target=120, seed=5),
     description="The paper's Figure 1 layout: tree vs perpendicular transfers",
+    supports_transport=True,
 )
 def build_figure1(spec: ExperimentSpec) -> BuiltExperiment:
     """Captioned working sets + the figure's tree/perpendicular edges."""
@@ -1400,6 +1515,7 @@ def build_figure1(spec: ExperimentSpec) -> BuiltExperiment:
         admission, rewiring = SketchAdmission(family), None
     else:
         admission, rewiring = _reconfig_policies(spec, rng)
+    transport_kwargs, link_factory = _transport_setup(spec, stats)
     sim = simulator_class(spec)(
         VirtualTopology(),
         family,
@@ -1408,7 +1524,9 @@ def build_figure1(spec: ExperimentSpec) -> BuiltExperiment:
         strategy_name=spec.strategy.name,
         summary_policy=_summary_policy(spec),
         rng=rng,
+        link_factory=link_factory,
         stats=stats,
+        **transport_kwargs,
         **_reconfig_sim_kwargs(spec, swarm),
     )
     scenario_obj = SimScenario("figure1", sim, stats, target)
@@ -1477,6 +1595,7 @@ def random_overlay(
     "random_overlay",
     small_spec=lambda: random_overlay(num_peers=6, target=100, seed=8),
     description="Randomised adaptive overlay: seeded peers discover each other",
+    supports_transport=True,
 )
 def build_random_overlay(spec: ExperimentSpec) -> BuiltExperiment:
     """The legacy randomised construction, RNG-order-identical."""
@@ -1509,6 +1628,7 @@ def build_random_overlay(spec: ExperimentSpec) -> BuiltExperiment:
         else None
     )
     admission, rewiring = _reconfig_policies(spec, rng)
+    transport_kwargs, link_factory = _transport_setup(spec, stats)
     sim = simulator_class(spec)(
         VirtualTopology(physical),
         family,
@@ -1517,7 +1637,9 @@ def build_random_overlay(spec: ExperimentSpec) -> BuiltExperiment:
         strategy_name=spec.strategy.name,
         summary_policy=_summary_policy(spec),
         rng=rng,
+        link_factory=link_factory,
         stats=stats,
+        **transport_kwargs,
         **_reconfig_sim_kwargs(spec, swarm),
     )
     scenario_obj = SimScenario("random_overlay", sim, stats, target)

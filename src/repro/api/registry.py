@@ -58,6 +58,10 @@ class ScenarioEntry:
     #: Whether the builder consumes ``spec.population``; a population
     #: spec on any other scenario is rejected rather than ignored.
     uses_population: bool = False
+    #: Whether the builder wires ``spec.transport`` through its
+    #: senders; a transport spec on any other scenario is rejected
+    #: rather than ignored.
+    supports_transport: bool = False
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -70,6 +74,7 @@ def scenario(
     small_grid: Optional[Callable[[], Dict[str, list]]] = None,
     fidelities: Tuple[str, ...] = ("packet",),
     uses_population: bool = False,
+    supports_transport: bool = False,
 ) -> Callable:
     """Class/function decorator registering a spec builder under ``name``."""
 
@@ -85,6 +90,7 @@ def scenario(
             small_grid=small_grid,
             fidelities=tuple(fidelities),
             uses_population=uses_population,
+            supports_transport=supports_transport,
         )
         return builder
 

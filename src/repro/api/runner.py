@@ -61,6 +61,14 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             "population spec applies to the population scenarios "
             "(population_flash_crowd)"
         )
+    if spec.transport is not None and not entry.supports_transport:
+        supporting = sorted(
+            n for n in registry.names() if registry.get(n).supports_transport
+        )
+        raise SpecError(
+            f"scenario {spec.scenario!r} has no transport-paced senders; a "
+            f"transport spec applies to: {', '.join(supporting) or '(none)'}"
+        )
     return entry.builder(spec)
 
 

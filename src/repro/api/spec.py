@@ -309,6 +309,67 @@ class ReconfigSpec:
 
 
 @dataclass(frozen=True)
+class TransportSpec:
+    """Sender-side transport selection: congestion control and queues.
+
+    ``policy`` names a registered :class:`~repro.transport.policies.
+    TransportPolicy` kind (``"open_loop"``, ``"aimd"``,
+    ``"bbr_lite"``); ``params`` holds that policy's scalar constructor
+    parameters, stored as sorted pairs so the spec stays hashable
+    (read with :meth:`param`).  A spec that validates always builds —
+    the policy is instantiated once during validation.
+
+    ``bottleneck_rate`` > 0 routes every connection's packets through
+    one shared :class:`~repro.transport.queue.BottleneckQueue` (fluid
+    FIFO drop-tail, ``bottleneck_buffer`` packets deep) draining at
+    that rate; 0 leaves links unqueued (congestion control still
+    applies over the existing per-link loss/latency models).
+    ``rto_min``/``rto_max`` clamp the adaptive retransmission timeout.
+
+    The ``open_loop`` policy with no bottleneck reproduces the
+    historical open-loop sender behaviour exactly; a spec with
+    ``transport`` unset skips the transport layer entirely (the
+    bit-identical parity baseline).
+    """
+
+    policy: str = "open_loop"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    bottleneck_rate: float = 0.0
+    bottleneck_buffer: int = 32
+    rto_min: float = 2.0
+    rto_max: float = 64.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.policy), "transport policy must be non-empty")
+        _require_int(self.bottleneck_buffer, "bottleneck_buffer")
+        _require(
+            self.bottleneck_rate >= 0.0, "bottleneck_rate must be non-negative"
+        )
+        _require(
+            self.bottleneck_buffer >= 1,
+            "bottleneck_buffer must hold at least 1 packet",
+        )
+        _require(self.rto_min > 0.0, "rto_min must be positive")
+        _require(self.rto_max >= self.rto_min, "rto_max must be >= rto_min")
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        from repro.transport import TransportError, validate_policy
+
+        try:
+            validate_policy(self.policy, self.params_dict())
+        except TransportError as exc:
+            raise SpecError(str(exc)) from None
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
 class StrategySpec:
     """Sender strategy selection (the Figure 5-8 legend) and summary budget.
 
@@ -482,6 +543,7 @@ class ExperimentSpec:
     strategy: StrategySpec = StrategySpec()
     churn: Optional[ChurnSpec] = None
     reconfig: Optional[ReconfigSpec] = None
+    transport: Optional[TransportSpec] = None
     measurement: MeasurementSpec = MeasurementSpec()
     population: Optional[PopulationSpec] = None
     params: Tuple[Tuple[str, Any], ...] = ()
@@ -553,6 +615,18 @@ class ExperimentSpec:
             self, reconfig=ReconfigSpec(policy=policy, summary=summary, **fields)
         )
 
+    def with_transport(self, policy: str = "open_loop", **fields: Any) -> "ExperimentSpec":
+        """A copy selecting a sender transport policy.
+
+        ``params`` (a mapping) carries the policy's constructor
+        parameters; every other keyword maps to a
+        :class:`TransportSpec` field.
+        """
+        params = fields.pop("params", None) or ()
+        return dataclasses.replace(
+            self, transport=TransportSpec(policy=policy, params=params, **fields)
+        )
+
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -563,6 +637,8 @@ class ExperimentSpec:
             out["strategy"]["summary"]["params"] = self.strategy.summary.params_dict()
         if self.reconfig is not None and self.reconfig.summary is not None:
             out["reconfig"]["summary"]["params"] = self.reconfig.summary.params_dict()
+        if self.transport is not None:
+            out["transport"]["params"] = self.transport.params_dict()
         if self.swarm is not None:
             out["swarm"]["nodes"] = [dataclasses.asdict(n) for n in self.swarm.nodes]
             out["swarm"]["links"] = [dataclasses.asdict(r) for r in self.swarm.links]
@@ -578,6 +654,7 @@ class ExperimentSpec:
         swarm = data.get("swarm")
         churn = data.get("churn")
         reconfig = data.get("reconfig")
+        transport = data.get("transport")
         population = data.get("population")
         return cls(
             scenario=data["scenario"],
@@ -586,6 +663,7 @@ class ExperimentSpec:
             strategy=_strategy_from_dict(data.get("strategy")),
             churn=_component_from_dict(ChurnSpec, churn) if churn is not None else None,
             reconfig=_reconfig_from_dict(reconfig) if reconfig is not None else None,
+            transport=_transport_from_dict(transport) if transport is not None else None,
             measurement=_component_from_dict(MeasurementSpec, data.get("measurement")),
             population=_component_from_dict(PopulationSpec, population)
             if population is not None
@@ -609,6 +687,7 @@ _DEFAULTABLE_COMPONENTS = {
     "churn": ChurnSpec,
     "summary": SummarySpec,
     "reconfig": ReconfigSpec,
+    "transport": TransportSpec,
     "population": PopulationSpec,
 }
 
@@ -621,8 +700,8 @@ def _override(obj: Any, parts: list, value: Any, full_path: str):
     """Recursive core of :meth:`ExperimentSpec.with_override`."""
     head, rest = parts[0], parts[1:]
     # `params.KEY` addresses the scalar-extras mapping of the spec (or
-    # of a SummarySpec) rather than a dataclass field.
-    if head == "params" and isinstance(obj, (ExperimentSpec, SummarySpec)):
+    # of a Summary/TransportSpec) rather than a dataclass field.
+    if head == "params" and isinstance(obj, (ExperimentSpec, SummarySpec, TransportSpec)):
         _require(
             len(rest) == 1,
             f"override {full_path!r}: 'params' takes exactly one key segment",
@@ -632,6 +711,13 @@ def _override(obj: Any, parts: list, value: Any, full_path: str):
             return obj.with_params(**{rest[0]: value})
         merged = obj.params_dict()
         merged[rest[0]] = value
+        if isinstance(obj, TransportSpec):
+            try:
+                return dataclasses.replace(obj, params=_freeze_params(merged))
+            except SpecError:
+                raise
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"override {full_path!r}: {exc}") from exc
         return _construct(SummarySpec, {"kind": obj.kind, "params": _freeze_params(merged)})
     known = {f.name for f in fields(obj)}
     _require(
@@ -721,6 +807,18 @@ def _reconfig_from_dict(data: Mapping[str, Any]) -> ReconfigSpec:
     return _construct(ReconfigSpec, kwargs)
 
 
+def _transport_from_dict(data: Mapping[str, Any]) -> TransportSpec:
+    _check_keys(TransportSpec, data)
+    kwargs = dict(data)
+    params = data.get("params", ())
+    _require(
+        params is None or isinstance(params, (Mapping, list, tuple)),
+        "TransportSpec params must be an object of scalars",
+    )
+    kwargs["params"] = _freeze_params(params or ())
+    return _construct(TransportSpec, kwargs)
+
+
 def _strategy_from_dict(data: Optional[Mapping[str, Any]]) -> StrategySpec:
     if data is None:
         return StrategySpec()
@@ -779,6 +877,7 @@ __all__ = [
     "StrategySpec",
     "ChurnSpec",
     "ReconfigSpec",
+    "TransportSpec",
     "MeasurementSpec",
     "PopulationSpec",
     "ExperimentSpec",

@@ -23,6 +23,7 @@ from repro.api.builders import (
     session_swarm,
     source_departure,
 )
+from repro.api.congested import congested_swarm
 from repro.api.population import population_flash_crowd
 from repro.api.tradeoff import summary_tradeoff
 
@@ -39,5 +40,6 @@ __all__ = [
     "figure1",
     "random_overlay",
     "adaptive_overlay",
+    "congested_swarm",
     "population_flash_crowd",
 ]

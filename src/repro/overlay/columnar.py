@@ -144,6 +144,18 @@ class ColumnarOverlaySimulator(OverlaySimulator):
         )
 
     def _on_tick(self) -> None:
+        if self.transport is not None:
+            # Congestion-gated sends are inherently sequential (cwnd
+            # and pacing evolve packet by packet within the tick), so
+            # transport runs drive the reference loop; flushing the
+            # credit columns first hands each link its exact fractional
+            # state.  Engine parity under transport is therefore
+            # trivially bit-identical.
+            if self._col_credit is not None:
+                self._flush_credits()
+                self._col_conns, self._col_credit = [], None
+            OverlaySimulator._on_tick(self)
+            return
         np = _batch._numpy()
         if np is None:
             if self._col_credit is not None:

@@ -38,6 +38,7 @@ from repro.sim.engine import EventScheduler
 from repro.sim.links import ConstantRateLink, LinkModel, drain_credit
 from repro.sim.stats import StatsRecorder
 from repro.seeding import default_rng
+from repro.transport.controller import TransportController, TransportManager
 
 #: Builds a link model for a new connection; receives the physical path
 #: characteristics and the endpoint ids.
@@ -77,6 +78,9 @@ class Connection:
         self.packets_lost = 0
         self.packets_useful = 0
         self.stats_name = f"{sender.node_id}->{receiver.node_id}"
+        #: Congestion controller installed by a transport-enabled
+        #: simulator (None = historical open-loop sending).
+        self.transport: Optional[TransportController] = None
         self._bandwidth = bandwidth
         self._loss_rate = loss_rate
         self._auto_link = link is None
@@ -203,6 +207,11 @@ class OverlaySimulator:
             and per-node time series (zero overhead when omitted).
         scheduler: an external event clock to share; a private one is
             created by default.
+        transport: optional :class:`~repro.transport.controller.
+            TransportManager`; when set, every connection gets a
+            congestion controller that caps its per-tick sends (cwnd +
+            pacing) and learns from acks/timeouts.  ``None`` keeps the
+            historical open-loop behaviour bit-identically.
     """
 
     def __init__(
@@ -221,6 +230,7 @@ class OverlaySimulator:
         link_factory: Optional[LinkFactory] = None,
         stats: Optional[StatsRecorder] = None,
         scheduler: Optional[EventScheduler] = None,
+        transport: Optional[TransportManager] = None,
     ):
         if reconfig_jitter < 0:
             raise ValueError("reconfig_jitter must be non-negative")
@@ -240,6 +250,7 @@ class OverlaySimulator:
         self.link_factory = link_factory
         self.stats = stats
         self.scheduler = scheduler or EventScheduler()
+        self.transport = transport
         self.nodes: Dict[str, OverlayNode] = {}
         self.connections: Dict[tuple, Connection] = {}
         self._peelers: Dict[str, RecodedPeeler] = {}
@@ -334,7 +345,7 @@ class OverlaySimulator:
             if self.link_factory is not None
             else None
         )
-        self.connections[(sender_id, receiver_id)] = Connection(
+        conn = Connection(
             sender=sender,
             receiver=receiver,
             strategy=strategy,
@@ -343,6 +354,10 @@ class OverlaySimulator:
             established_tick=self.tick_count,
             link=link,
         )
+        if self.transport is not None:
+            # A new connection is a new flow: fresh congestion state.
+            conn.transport = self.transport.attach(conn.stats_name)
+        self.connections[(sender_id, receiver_id)] = conn
         return True
 
     def disconnect(self, sender_id: str, receiver_id: str) -> None:
@@ -365,19 +380,29 @@ class OverlaySimulator:
                 continue
             if not conn.sender.is_source and conn.strategy is None:
                 continue  # sender has nothing to offer yet
-            for _ in range(conn.link.packet_budget(now - 1.0, now)):
+            budget = conn.link.packet_budget(now - 1.0, now)
+            ctrl = conn.transport
+            if ctrl is not None:
+                budget = ctrl.allowance(now, budget)
+            for _ in range(budget):
                 packet = self._compose(conn)
                 conn.packets_sent += 1
                 self.packets_sent += 1
                 if self.stats is not None:
                     self.stats.count(now, conn.stats_name, "sent")
                 delay = conn.link.transmit(self.rng)
+                seq = ctrl.on_send(now) if ctrl is not None else 0
                 if delay is None:
+                    # Wire loss or tail drop: the controller tracked the
+                    # packet, so it occupies window until its timeout
+                    # fires and becomes an on_loss signal.
                     conn.packets_lost += 1
                     self.packets_lost += 1
                     if self.stats is not None:
                         self.stats.count(now, conn.stats_name, "lost")
                     continue
+                if ctrl is not None:
+                    self._schedule_ack(ctrl, seq, now, delay, conn.link.latency)
                 if delay <= 0.0:
                     self._arrive(conn, packet)
                 else:
@@ -483,6 +508,29 @@ class OverlaySimulator:
             return Packet.encoded(conn.sender.mint_fresh_id())
         assert conn.strategy is not None
         return conn.strategy.next_packet()
+
+    def _schedule_ack(
+        self,
+        ctrl: TransportController,
+        seq: int,
+        now: float,
+        delay: float,
+        reverse_latency: float,
+    ) -> None:
+        """Return the ack for a delivered packet after the reverse path.
+
+        Acks are tiny control packets: they cross the reverse
+        propagation delay but never queue or drop (the loss signal the
+        policies react to is a *missing* ack — the rtx timeout).
+        """
+        ack_delay = delay + reverse_latency
+        if ack_delay <= 0.0:
+            ctrl.on_ack(now, seq)
+        else:
+            self.scheduler.schedule(
+                ack_delay,
+                lambda: ctrl.on_ack(self.scheduler.now, seq),
+            )
 
     def _arrive(self, conn: Connection, packet: Packet) -> None:
         """A packet reaches its receiver (inline or latency-delayed)."""

@@ -167,18 +167,85 @@ class GilbertElliottProcess:
         self.loss_good = loss_good
         self.loss_bad = loss_bad
         self.bad = start_bad
+        # Burst bookkeeping: step counts, completed bad bursts, and the
+        # running length of the burst in progress.  Observation only —
+        # attaching stats never changes the chain's RNG draws.
+        self.steps = 0
+        self.bad_steps = 0
+        self.bursts = 0
+        self.burst_steps_total = 0
+        self.longest_burst = 0
+        self._burst_len = 0
+        self._stats = None
+        self._stats_entity = "loss"
+        self._clock = None
+
+    def attach_stats(self, stats, entity: str = "loss", clock=None) -> None:
+        """Record the chain's state and realized bursts as stats series.
+
+        Each step emits a ``bad_state`` gauge (1.0 in the bad phase);
+        each completed bad burst emits its length as a ``burst_length``
+        gauge.  ``clock`` (anything with ``.now``) timestamps the
+        series; without one, the step counter is the time axis.
+        """
+        self._stats = stats
+        self._stats_entity = entity
+        self._clock = clock
+
+    def _stats_now(self) -> float:
+        return float(self.steps) if self._clock is None else self._clock.now
 
     def step(self, rng: random.Random) -> None:
         """Advance the chain one transition."""
+        self.steps += 1
+        was_bad = self.bad
         if self.bad:
             if rng.random() < self.p_bad_good:
                 self.bad = False
         elif rng.random() < self.p_good_bad:
             self.bad = True
+        if self.bad:
+            self.bad_steps += 1
+            self._burst_len += 1
+        elif was_bad:
+            self._end_burst()
+        if self._stats is not None:
+            self._stats.gauge(
+                self._stats_now(),
+                self._stats_entity,
+                "bad_state",
+                1.0 if self.bad else 0.0,
+            )
+
+    def _end_burst(self) -> None:
+        length = self._burst_len
+        self._burst_len = 0
+        if length <= 0:
+            return
+        self.bursts += 1
+        self.burst_steps_total += length
+        self.longest_burst = max(self.longest_burst, length)
+        if self._stats is not None:
+            self._stats.gauge(
+                self._stats_now(), self._stats_entity, "burst_length", float(length)
+            )
 
     @property
     def current_loss_rate(self) -> float:
         return self.loss_bad if self.bad else self.loss_good
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Mean completed-burst length; approaches 1/p_bad_good."""
+        return self.burst_steps_total / self.bursts if self.bursts else 0.0
+
+    @property
+    def empirical_loss_rate(self) -> float:
+        """Realized long-run loss mixture over the stepped history."""
+        if not self.steps:
+            return self.current_loss_rate
+        frac_bad = self.bad_steps / self.steps
+        return frac_bad * self.loss_bad + (1.0 - frac_bad) * self.loss_good
 
     @property
     def stationary_loss_rate(self) -> float:

@@ -9,20 +9,39 @@ but is time-free: ``run()`` loops as fast as Python allows.  A
 simulations, and scenario events advance on one clock and can be
 compared in simulated time.
 
-Loss and queueing stay at the overlay layer (the protocol's transport
-is assumed reliable, as in the paper's prototype); what the link model
-contributes here is *pacing*: a 2 pkt/tick session finishes in half the
-simulated time of a 1 pkt/tick one, handshakes cost one propagation
-delay, and a :class:`~repro.sim.stats.StatsRecorder` can capture the
-receiver's progress as a time series.
+The protocol stream itself stays reliable — a digital fountain never
+retransmits specific bytes; fresh encoded symbols substitute for lost
+ones, as in the paper's prototype — but the *sending rate* need not be
+open-loop.  With a :class:`~repro.transport.controller.
+TransportController` installed, each pump window is additionally
+capped by the controller's congestion window and pacing rate, and
+every packet's fate is drawn from the link model: a delivered packet's
+ack returns after the round trip (feeding the RTT and bandwidth
+estimators), a lost or queue-dropped packet's missing ack becomes an
+rtx timeout and an ``on_loss`` signal.  Without a controller the
+historical behaviour is bit-identical: the link model contributes only
+*pacing* — a 2 pkt/tick session finishes in half the simulated time of
+a 1 pkt/tick one, handshakes cost one propagation delay, and a
+:class:`~repro.sim.stats.StatsRecorder` can capture the receiver's
+progress as a time series.
 """
 
+import random
 from typing import List, Optional
 
 from repro.protocol.session import TransferSession
 from repro.sim.engine import EventScheduler
 from repro.sim.links import LinkModel
 from repro.sim.stats import StatsRecorder
+from repro.transport.controller import TransportController
+
+#: Default data-packet budget, in multiples of the receiver's recovery
+#: target.  Spec-addressable: session scenarios derive their cap from
+#: ``MeasurementSpec.max_packets`` when set, and from the
+#: ``packet_budget_factor`` scenario param (times the target) when not
+#: — this constant is only the last-resort default for hand-built
+#: sessions.
+DEFAULT_PACKET_BUDGET_FACTOR = 40
 
 
 class ScheduledSession:
@@ -36,7 +55,14 @@ class ScheduledSession:
         name: entity name for the stats recorder.
         stats: optional recorder capturing the receiver's symbol count
             and per-tick packet counts.
-        max_packets: data-packet budget (default: session default).
+        max_packets: data-packet budget (default:
+            :data:`DEFAULT_PACKET_BUDGET_FACTOR` × recovery target).
+        transport: optional congestion controller gating each pump
+            window; requires ``rng`` (packet fates are drawn from the
+            link model).  ``None`` keeps the historical open-loop
+            pacing bit-identically.
+        rng: randomness source for per-packet link fates under
+            ``transport``.
     """
 
     def __init__(
@@ -47,7 +73,13 @@ class ScheduledSession:
         name: str = "session",
         stats: Optional[StatsRecorder] = None,
         max_packets: Optional[int] = None,
+        transport: Optional[TransportController] = None,
+        rng: Optional[random.Random] = None,
     ):
+        if transport is not None and rng is None:
+            raise ValueError(
+                "a transport-gated session needs an rng for link fates"
+            )
         self.scheduler = scheduler
         self.session = session
         session.clock = scheduler
@@ -55,7 +87,13 @@ class ScheduledSession:
         self.name = name
         self.stats = stats
         target = session.receiver.params.recovery_target
-        self.max_packets = max_packets if max_packets is not None else 40 * target
+        self.max_packets = (
+            max_packets
+            if max_packets is not None
+            else DEFAULT_PACKET_BUDGET_FACTOR * target
+        )
+        self.transport = transport
+        self.rng = rng
         self.packets_sent = 0
         self.finished = False
         self.accepted: Optional[bool] = None
@@ -82,13 +120,17 @@ class ScheduledSession:
 
         Each packet is one :meth:`TransferSession.stream_step` — the
         same streaming bookkeeping ``run()`` uses, just rationed by the
-        link's capacity instead of a tight loop.
+        link's capacity (and, under a transport controller, by cwnd and
+        pacing) instead of a tight loop.
         """
         if self.finished:
             return False
         now = self.scheduler.now
         assert self._last_pump is not None
         budget = self.link.packet_budget(self._last_pump, now)
+        ctrl = self.transport
+        if ctrl is not None:
+            budget = ctrl.allowance(now, budget, window=now - self._last_pump)
         self._last_pump = now
         receiver = self.session.receiver
         sent_this_pump = 0
@@ -99,6 +141,8 @@ class ScheduledSession:
                 break  # decoded, or the sender genuinely drained
             self.packets_sent += 1
             sent_this_pump += 1
+            if ctrl is not None:
+                self._transport_step(ctrl, now)
             if self.stats is not None:
                 self.stats.count(now, self.name, "packets")
                 self.stats.gauge(
@@ -110,6 +154,29 @@ class ScheduledSession:
             self._finish()
             return False
         return None
+
+    def _transport_step(self, ctrl: TransportController, now: float) -> None:
+        """Feed one packet's wire fate to the congestion controller.
+
+        The stream stays reliable (the symbol was already delivered by
+        ``stream_step``); the link draw decides only what the *sender
+        learns*: an ack after the round trip, or — for a wire loss or
+        queue drop — nothing, until the rtx timeout turns the silence
+        into an ``on_loss`` back-off signal.
+        """
+        seq = ctrl.on_send(now)
+        assert self.rng is not None
+        fate = self.link.transmit(self.rng)
+        if fate is None:
+            return
+        ack_delay = fate + self.link.latency
+        if ack_delay <= 0.0:
+            ctrl.on_ack(now, seq)
+        else:
+            self.scheduler.schedule(
+                ack_delay,
+                lambda: ctrl.on_ack(self.scheduler.now, seq),
+            )
 
     def _done(self) -> bool:
         return self.session.receiver.has_decoded

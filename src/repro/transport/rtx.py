@@ -1,0 +1,85 @@
+"""Timeout-driven loss recovery for coded streams.
+
+:class:`RtxManager` tracks in-flight sequence numbers against an
+adaptive retransmission timeout (the classic Jacobson/Karels SRTT /
+RTTVAR estimator).  In a digital-fountain system a timed-out packet is
+not retransmitted byte-for-byte — fresh encoded symbols substitute for
+lost ones — so expiry here *frees window space and signals the
+congestion policy* rather than queueing a specific segment.  That
+matches the paper's prototype, where the stream itself is loss-
+tolerant and only the sending rate needs to react.
+"""
+
+from typing import Dict, List, Tuple
+
+__all__ = ["RtxManager"]
+
+
+class RtxManager:
+    """Adaptive-RTO tracking of in-flight packets.
+
+    Args:
+        rto_min / rto_max: clamp bounds for the retransmission timeout,
+            in simulated time units.  Until the first RTT sample the
+            RTO sits at ``2 * rto_min`` (clamped).
+    """
+
+    def __init__(self, rto_min: float = 2.0, rto_max: float = 64.0):
+        if rto_min <= 0.0:
+            raise ValueError("rto_min must be positive")
+        if rto_max < rto_min:
+            raise ValueError("rto_max must be >= rto_min")
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.rto = min(rto_max, 2.0 * rto_min)
+        #: seq -> (sent_at, deadline)
+        self._outstanding: Dict[int, Tuple[float, float]] = {}
+        self.timeouts = 0
+        self.acked = 0
+
+    # -- tracking -----------------------------------------------------------
+
+    def track(self, seq: int, now: float) -> None:
+        """Register a just-sent packet; its deadline is fixed at send time."""
+        self._outstanding[seq] = (now, now + self.rto)
+
+    def ack(self, seq: int) -> "float | None":
+        """Acknowledge ``seq``; returns its send time, or None if it
+        already timed out (a late ack carries no information)."""
+        entry = self._outstanding.pop(seq, None)
+        if entry is None:
+            return None
+        self.acked += 1
+        return entry[0]
+
+    def expire(self, now: float) -> List[Tuple[int, float]]:
+        """Pop every packet whose deadline passed; ``[(seq, sent_at)]``."""
+        expired = [
+            (seq, sent_at)
+            for seq, (sent_at, deadline) in self._outstanding.items()
+            if deadline <= now
+        ]
+        for seq, _ in expired:
+            del self._outstanding[seq]
+        self.timeouts += len(expired)
+        return expired
+
+    @property
+    def inflight(self) -> int:
+        return len(self._outstanding)
+
+    # -- RTT estimation -----------------------------------------------------
+
+    def observe_rtt(self, rtt: float) -> None:
+        """Fold one RTT sample into SRTT/RTTVAR and refresh the RTO."""
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.rto = min(
+            self.rto_max, max(self.rto_min, self.srtt + 4.0 * self.rttvar)
+        )

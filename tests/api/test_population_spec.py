@@ -54,20 +54,8 @@ class TestPopulationSpec:
         with pytest.raises(SpecError):
             PopulationSpec(**{field: value})
 
-    def test_json_round_trip(self):
-        spec = specs.population_flash_crowd(
-            population=512, objects=3, waves=5, wave_profile="diurnal",
-            fidelity="flow", policy="random", seed=21,
-        )
-        restored = ExperimentSpec.from_json(spec.to_json())
-        assert restored == spec
-        assert restored.population.objects == 3
-        assert restored.measurement.fidelity == "flow"
-
-    def test_spec_without_population_round_trips_to_none(self):
-        spec = specs.flash_crowd()
-        assert spec.population is None
-        assert ExperimentSpec.from_json(spec.to_json()).population is None
+    # JSON round-trip (set and unset) lives in the shared contract
+    # (test_spec_roundtrip_property.py), not per-spec copies.
 
     def test_population_dotted_overrides(self):
         spec = specs.population_flash_crowd()

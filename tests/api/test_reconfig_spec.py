@@ -23,19 +23,8 @@ from repro.api import ExperimentSpec, ReconfigSpec, SpecError, build, registry, 
 
 
 class TestReconfigSpecValue:
-    def test_json_round_trip(self):
-        spec = specs.flash_crowd(num_peers=10, target=40, initial_seeded=2,
-                                 waves=2, wave_interval=5, seed=21)
-        spec = dataclasses.replace(
-            spec,
-            reconfig=ReconfigSpec(
-                policy="informed", interval=7.5, jitter=1.0, scan_budget=8,
-                min_usefulness=0.05, hysteresis=0.2,
-            ),
-        ).with_override("reconfig.summary.kind", "bloom")
-        restored = ExperimentSpec.from_json(spec.to_json())
-        assert restored == spec
-        assert restored.reconfig.summary.kind == "bloom"
+    # JSON round-trip and unknown-key rejection live in the shared
+    # contract (test_spec_roundtrip_property.py), not per-spec copies.
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(SpecError, match="reconfig policy"):

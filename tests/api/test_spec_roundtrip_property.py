@@ -1,0 +1,134 @@
+"""One shared contract for every frozen spec component.
+
+Each spec dataclass used to carry its own copy of the same two tests
+(JSON round-trip, unknown-key rejection); this module replaces them
+with a single parametrised pair covering every component at once, and
+a completeness check so a newly added spec class cannot ship without
+joining the contract.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.api.spec as spec_module
+from repro.api import ExperimentSpec, SpecError, specs
+from repro.api.spec import (
+    ChurnSpec,
+    PopulationSpec,
+    ReconfigSpec,
+    SummarySpec,
+    TransportSpec,
+)
+
+
+def maximal_spec() -> ExperimentSpec:
+    """One spec exercising every component with non-default values.
+
+    Built on asymmetric_bandwidth (the catalog's richest swarm: node
+    classes plus link rules) with every optional component set.  Spec
+    values are pure data — cross-component combinations a builder would
+    refuse (population on a swarm scenario) still serialise, which is
+    exactly what this contract is about.
+    """
+    base = specs.asymmetric_bandwidth(seed=21)
+    return dataclasses.replace(
+        base,
+        strategy=dataclasses.replace(
+            base.strategy,
+            summary=SummarySpec(kind="art", params={"bits_per_element": 16}),
+        ),
+        churn=ChurnSpec(depart_node="src", depart_at=7.0),
+        reconfig=ReconfigSpec(
+            policy="informed",
+            interval=7.5,
+            jitter=1.0,
+            scan_budget=8,
+            min_usefulness=0.05,
+            hysteresis=0.2,
+            summary=SummarySpec(kind="bloom"),
+        ),
+        transport=TransportSpec(
+            policy="aimd",
+            params={"beta": 0.7, "cwnd_init": 4},
+            bottleneck_rate=8.0,
+            bottleneck_buffer=16,
+            rto_min=1.5,
+            rto_max=32.0,
+        ),
+        population=specs.population_flash_crowd(seed=21).population,
+    )
+
+
+#: Component class -> path of its dict inside the maximal spec's JSON.
+#: Every frozen spec dataclass in repro.api.spec must appear here (the
+#: completeness test enforces it).
+COMPONENT_PATHS = {
+    "ExperimentSpec": (),
+    "SwarmSpec": ("swarm",),
+    "NodeSpec": ("swarm", "nodes", 0),
+    "LinkRuleSpec": ("swarm", "links", 0),
+    "LinkSpec": ("swarm", "links", 0, "link"),
+    "StrategySpec": ("strategy",),
+    "SummarySpec": ("strategy", "summary"),
+    "ChurnSpec": ("churn",),
+    "ReconfigSpec": ("reconfig",),
+    "TransportSpec": ("transport",),
+    "MeasurementSpec": ("measurement",),
+    "PopulationSpec": ("population",),
+}
+
+
+def _navigate(data, path):
+    for key in path:
+        data = data[key]
+    return data
+
+
+def test_every_spec_dataclass_is_covered():
+    """A new spec class must join this contract to ship."""
+    exported = {
+        name
+        for name in spec_module.__all__
+        if name.endswith("Spec") and dataclasses.is_dataclass(
+            getattr(spec_module, name)
+        )
+    }
+    assert exported == set(COMPONENT_PATHS)
+
+
+def test_maximal_spec_sets_every_component():
+    """Guard: the exemplar really exercises each optional component."""
+    spec = maximal_spec()
+    data = json.loads(spec.to_json())
+    for name, path in COMPONENT_PATHS.items():
+        node = _navigate(data, path)
+        assert node is not None and node != {}, name
+
+
+def test_maximal_spec_round_trips_exactly():
+    spec = maximal_spec()
+    restored = ExperimentSpec.from_json(spec.to_json())
+    assert restored == spec
+    # Nested params survive as values, not strings.
+    assert restored.transport.param("beta") == 0.7
+    assert restored.strategy.summary.params_dict() == {"bits_per_element": 16}
+
+
+def test_unset_optional_components_round_trip_to_none():
+    spec = specs.pair_transfer(target=120, seed=1)
+    restored = ExperimentSpec.from_json(spec.to_json())
+    assert restored == spec
+    for field in ("churn", "reconfig", "transport", "population"):
+        assert getattr(restored, field) is None, field
+    assert restored.summary is None
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENT_PATHS))
+def test_unknown_keys_rejected_everywhere(name):
+    """The closed world holds at every nesting level, not just the top."""
+    data = json.loads(maximal_spec().to_json())
+    _navigate(data, COMPONENT_PATHS[name])["bogus_key"] = 1
+    with pytest.raises(SpecError, match="bogus_key"):
+        ExperimentSpec.from_dict(data)

@@ -39,21 +39,8 @@ class TestSummarySpec:
         assert policy.kind == "modk"
         assert policy.params_dict() == {"modulus": 8}
 
-    def test_spec_round_trips_through_json(self):
-        spec = specs.pair_transfer(target=120, seed=1).with_summary(
-            "art", bits_per_element=16
-        )
-        again = ExperimentSpec.from_json(spec.to_json())
-        assert again == spec
-        assert again.summary == SummarySpec(
-            kind="art", params={"bits_per_element": 16}
-        )
-
-    def test_none_summary_survives_round_trip(self):
-        spec = specs.pair_transfer(target=120, seed=1)
-        assert spec.summary is None
-        again = ExperimentSpec.from_json(spec.to_json())
-        assert again == spec and again.summary is None
+    # JSON round-trip (set and unset) lives in the shared contract
+    # (test_spec_roundtrip_property.py), not per-spec copies.
 
     def test_bad_nested_summary_folds_into_spec_error(self):
         data = json.loads(specs.pair_transfer(target=120, seed=1).to_json())

@@ -120,6 +120,60 @@ class TestGilbertElliott:
         assert a.transmit(rng) == 0.0 and b.transmit(rng) == 0.0
 
 
+class TestGilbertElliottBurstStats:
+    """Satellite: realized burst statistics exposed by the loss chain."""
+
+    def test_burst_bookkeeping_matches_the_chain(self):
+        p = GilbertElliottProcess(0.05, 0.25, loss_good=0.01, loss_bad=0.6)
+        rng = random.Random(7)
+        for _ in range(80_000):
+            p.step(rng)
+        # Long-run occupancy reproduces the stationary mixture...
+        assert p.empirical_loss_rate == pytest.approx(
+            p.stationary_loss_rate, rel=0.05
+        )
+        # ...and completed bursts are geometric with mean 1/p_bad_good.
+        assert p.mean_burst_length == pytest.approx(1.0 / 0.25, rel=0.05)
+        assert p.longest_burst >= p.mean_burst_length
+        assert p.bad_steps >= p.burst_steps_total  # an open burst may remain
+
+    def test_fresh_chain_reports_zeros(self):
+        p = GilbertElliottProcess(0.1, 0.3)
+        assert p.mean_burst_length == 0.0
+        assert p.empirical_loss_rate == p.current_loss_rate
+
+    def test_attach_stats_emits_series(self):
+        from repro.sim.stats import StatsRecorder
+
+        stats = StatsRecorder(resolution=1.0)
+        p = GilbertElliottProcess(0.3, 0.5, start_bad=True)
+        p.attach_stats(stats, entity="loss:regional")
+        rng = random.Random(3)
+        for _ in range(2_000):
+            p.step(rng)
+        bad = stats.series("loss:regional", "bad_state")
+        assert bad  # one gauge per step, bucketed by the recorder
+        bursts = stats.series("loss:regional", "burst_length")
+        assert bursts
+        assert p.bursts > 0
+
+    def test_observation_never_changes_the_draws(self):
+        plain = GilbertElliottProcess(0.1, 0.3, loss_good=0.0, loss_bad=0.5)
+        from repro.sim.stats import StatsRecorder
+
+        observed = GilbertElliottProcess(0.1, 0.3, loss_good=0.0, loss_bad=0.5)
+        observed.attach_stats(StatsRecorder(resolution=1.0))
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        states_a, states_b = [], []
+        for _ in range(5_000):
+            plain.step(rng_a)
+            observed.step(rng_b)
+            states_a.append(plain.bad)
+            states_b.append(observed.bad)
+        assert states_a == states_b
+        assert rng_a.getstate() == rng_b.getstate()
+
+
 class TestTraceBandwidth:
     def test_budget_is_trace_integral_within_one_packet(self):
         # Satellite requirement: delivered budget == integral of the

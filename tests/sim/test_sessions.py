@@ -114,3 +114,79 @@ class TestScheduledSession:
         finishes = [d.session.stats.finished_at for d in drivers]
         # The slowest link finishes last on the shared clock.
         assert finishes[0] == max(finishes)
+
+
+class TestTransportGatedSession:
+    def test_transport_requires_an_rng(self):
+        params = make_params()
+        sched = EventScheduler()
+        src, dst = make_pair(params)
+        session = TransferSession(src, dst, rng=random.Random(4))
+        from repro.transport import RtxManager, TransportController, build_policy
+
+        ctrl = TransportController(build_policy("aimd"), RtxManager(), name="t")
+        with pytest.raises(ValueError, match="needs an rng"):
+            ScheduledSession(sched, session, ConstantRateLink(2.0), transport=ctrl)
+
+    def test_default_budget_scales_with_recovery_target(self):
+        from repro.sim.sessions import DEFAULT_PACKET_BUDGET_FACTOR
+
+        params = make_params()
+        sched = EventScheduler()
+        src, dst = make_pair(params)
+        session = TransferSession(src, dst, rng=random.Random(4))
+        driver = ScheduledSession(sched, session, ConstantRateLink(2.0))
+        assert driver.max_packets == (
+            DEFAULT_PACKET_BUDGET_FACTOR * params.recovery_target
+        )
+
+    def test_gated_session_completes_with_closed_accounting(self):
+        from repro.transport import RtxManager, TransportController, build_policy
+
+        params = make_params()
+        sched = EventScheduler()
+        src, dst = make_pair(params)
+        session = TransferSession(src, dst, rng=random.Random(4))
+        ctrl = TransportController(
+            build_policy("aimd"), RtxManager(rto_min=2.0), name="t"
+        )
+        driver = ScheduledSession(
+            sched,
+            session,
+            ConstantRateLink(4.0, loss_rate=0.1),
+            transport=ctrl,
+            rng=random.Random(5),
+        ).start()
+        run_sessions(sched, [driver])
+        assert session.receiver.has_decoded
+        assert ctrl.sent == driver.packets_sent
+        assert ctrl.sent == ctrl.acked + ctrl.timeouts + ctrl.inflight
+
+    def test_cwnd_gating_slows_the_session_down(self):
+        # Same seeds: a congestion window strictly tightens pacing, so
+        # the gated run takes at least as long in simulated time.
+        from repro.transport import RtxManager, TransportController, build_policy
+
+        durations = {}
+        for gated in (False, True):
+            params = make_params()
+            sched = EventScheduler()
+            src, dst = make_pair(params)
+            session = TransferSession(src, dst, rng=random.Random(4))
+            kwargs = {}
+            if gated:
+                kwargs = {
+                    "transport": TransportController(
+                        build_policy("aimd", cwnd_init=1.0),
+                        RtxManager(),
+                        name="t",
+                    ),
+                    "rng": random.Random(5),
+                }
+            driver = ScheduledSession(
+                sched, session, ConstantRateLink(8.0), **kwargs
+            ).start()
+            run_sessions(sched, [driver])
+            assert session.receiver.has_decoded
+            durations[gated] = session.stats.duration
+        assert durations[True] > durations[False]
