@@ -1,0 +1,104 @@
+"""Structured-topology cost: generator construction and the 1k-node run.
+
+Not a paper figure — this benchmarks the topology subsystem: how fast
+each registered generator builds its graph as ``n`` grows (construction
+must stay negligible next to the simulation it feeds), and the
+end-to-end cost of the ``scale_free_swarm`` scenario at 1k nodes on the
+columnar engine — the scale the structured-topology story is about,
+with the informed-vs-random headline asserted so the bench doubles as
+a regression tripwire.
+
+With ``REPRO_BENCH_JSON=<dir>`` the benchmark emits
+``BENCH_topology.json``: one ``repro.run_result/1`` entry for the
+seeded miniature run plus ``repro.bench_meta/1`` timing entries per
+generator and for the 1k-node run — validated by
+``scripts/validate_bench.py``.
+"""
+
+import time
+
+from conftest import print_series, write_bench_json
+
+from repro.topology import generate, generator_names
+
+#: Graph sizes the construction sweep covers.
+SIZES = (100, 1_000, 10_000)
+
+
+def test_generator_construction(benchmark):
+    rows = []
+    meta_entries = []
+
+    def sweep():
+        rows.clear()
+        meta_entries.clear()
+        for kind in generator_names():
+            for n in SIZES:
+                t0 = time.perf_counter()
+                graph = generate(kind, n, seed=7)
+                wall = time.perf_counter() - t0
+                assert graph.is_connected()
+                rows.append(
+                    f"kind={kind:10s} n={n:6d}  edges={len(graph.edges):6d}  "
+                    f"wall={wall * 1e3:8.2f}ms"
+                )
+                meta_entries.append(
+                    {
+                        "schema": "repro.bench_meta/1",
+                        "name": f"topology_{kind}_{n}",
+                        "nodes": n,
+                        "edges": len(graph.edges),
+                        "wall_seconds": wall,
+                    }
+                )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("topology generator construction", rows)
+
+    from repro.api import registry, run
+
+    result = run(registry.small_spec("scale_free_swarm"))
+    assert result.completed
+    write_bench_json("topology", [result] + meta_entries)
+
+
+def test_scale_free_swarm_1k(benchmark):
+    """The 1k-node informed run: the scale the subsystem exists for."""
+    from repro.api import run, specs
+
+    spec = specs.scale_free_swarm(
+        num_peers=1_000, target=60, max_ticks=2_000
+    ).with_override("measurement.engine", "columnar")
+
+    def one_run():
+        t0 = time.perf_counter()
+        result = run(spec)
+        return result, time.perf_counter() - t0
+
+    result, wall = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    assert result.completed
+    # The headline the scenario ships with must survive at scale.
+    assert result.metrics["informed_useful_gain"] > 0
+    print_series(
+        "scale_free_swarm @ 1k nodes (columnar)",
+        [
+            f"wall={wall:6.2f}s  "
+            f"gain={result.metrics['informed_useful_gain']:.3f}  "
+            f"hub_relief={result.metrics['hub_relief']:.3f}  "
+            f"ticks[informed]={result.metrics['ticks[informed]']:.0f}"
+        ],
+    )
+    write_bench_json(
+        "topology_1k",
+        [
+            result,
+            {
+                "schema": "repro.bench_meta/1",
+                "name": "scale_free_swarm_1k_columnar",
+                "nodes": 1_000,
+                "wall_seconds": wall,
+                "informed_useful_gain": result.metrics["informed_useful_gain"],
+            },
+        ],
+    )

@@ -32,6 +32,7 @@ from repro.api.registry import UnknownScenarioError, scenario
 from repro.api.result import RESULT_SCHEMA, RunResult
 from repro.api.runner import BuiltExperiment, build, run
 from repro.api.spec import (
+    CatalogSpec,
     ChurnSpec,
     ExperimentSpec,
     LinkRuleSpec,
@@ -44,6 +45,7 @@ from repro.api.spec import (
     StrategySpec,
     SummarySpec,
     SwarmSpec,
+    TopologySpec,
     TransportSpec,
 )
 
@@ -55,6 +57,8 @@ __all__ = [
     "SpecError",
     "ExperimentSpec",
     "SwarmSpec",
+    "TopologySpec",
+    "CatalogSpec",
     "NodeSpec",
     "LinkSpec",
     "LinkRuleSpec",

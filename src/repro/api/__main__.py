@@ -34,10 +34,12 @@ from typing import List, Optional
 from repro.api import registry, run
 from repro.api.output import prepare_out_file
 from repro.api.spec import (
+    CatalogSpec,
     ExperimentSpec,
     ReconfigSpec,
     SpecError,
     SummarySpec,
+    TopologySpec,
     TransportSpec,
 )
 from repro.reconcile import SummaryError
@@ -156,6 +158,45 @@ def parse_transport_arg(text: str) -> TransportSpec:
         raise SpecError(f"--transport: {exc}") from exc
 
 
+def parse_topology_arg(text: str) -> TopologySpec:
+    """Parse ``kind[:param=val,...]`` into a :class:`TopologySpec`.
+
+    Every key after the kind is a generator parameter.  Examples::
+
+        --topology scale_free:attach=2
+        --topology cdn_tiers:tiers=3,fanout=4
+        --topology ring
+
+    Unknown kinds and parameters raise :class:`SpecError` (CLI exit
+    status 2), as does passing a topology to a scenario that wires its
+    own fixed overlay.
+    """
+    kind, _, tail = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise SpecError("--topology needs a generator kind before ':'")
+    return TopologySpec(kind=kind, params=_parse_kv_params(tail, "--topology"))
+
+
+def parse_catalog_arg(text: str) -> CatalogSpec:
+    """Parse ``field=val,...`` into a :class:`CatalogSpec`.
+
+    There is no kind selector — every key is a :class:`CatalogSpec`
+    field.  Examples::
+
+        --catalog objects=4
+        --catalog objects=6,zipf_skew=1.2,priority_tiers=3
+
+    Malformed input raises :class:`SpecError` (CLI exit status 2), as
+    does passing a catalog to a single-object scenario.
+    """
+    fields = _parse_kv_params(text, "--catalog")
+    try:
+        return CatalogSpec(**fields)
+    except TypeError as exc:
+        raise SpecError(f"--catalog: {exc}") from exc
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.api",
@@ -235,6 +276,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--topology",
+        metavar="KIND[:PARAM=VAL,...]",
+        help=(
+            "override the spec's overlay topology generator, e.g. "
+            "'scale_free:attach=2', 'cdn_tiers:tiers=3,fanout=4', "
+            "'clustered:clusters=4', 'ring' (topology-aware scenarios only)"
+        ),
+    )
+    parser.add_argument(
+        "--catalog",
+        metavar="FIELD=VAL[,...]",
+        help=(
+            "override the spec's multi-object catalog, e.g. "
+            "'objects=4,zipf_skew=1.2,priority_tiers=2' "
+            "(catalog-aware scenarios only)"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         metavar="NAME",
         help=(
@@ -290,6 +349,10 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
         spec = dataclasses.replace(
             spec, transport=parse_transport_arg(args.transport)
         )
+    if args.topology:
+        spec = spec.with_component_spec("topology", parse_topology_arg(args.topology))
+    if args.catalog:
+        spec = spec.with_component_spec("catalog", parse_catalog_arg(args.catalog))
     # with_override validates the value (unknown engine/fidelity ->
     # SpecError -> exit status 2), unlike a bare dataclasses.replace.
     if args.engine:
@@ -325,6 +388,10 @@ def _load_campaign(args: argparse.Namespace):
         base = dataclasses.replace(
             base, transport=parse_transport_arg(args.transport)
         )
+    if args.topology:
+        base = base.with_component_spec("topology", parse_topology_arg(args.topology))
+    if args.catalog:
+        base = base.with_component_spec("catalog", parse_catalog_arg(args.catalog))
     if args.engine:
         base = base.with_override("measurement.engine", args.engine)
     if args.fidelity:

@@ -58,10 +58,17 @@ class ScenarioEntry:
     #: Whether the builder consumes ``spec.population``; a population
     #: spec on any other scenario is rejected rather than ignored.
     uses_population: bool = False
-    #: Whether the builder wires ``spec.transport`` through its
-    #: senders; a transport spec on any other scenario is rejected
-    #: rather than ignored.
-    supports_transport: bool = False
+    #: Registered component names (see :data:`repro.api.spec.
+    #: COMPONENTS`) this builder honours beyond the summary/reconfig
+    #: pair every swarm scenario interprets.  Selecting a component on
+    #: a scenario that never consults it is rejected rather than
+    #: ignored — the same closed-world rule the spec keys follow.
+    supports: Tuple[str, ...] = ()
+
+    @property
+    def supports_transport(self) -> bool:
+        """Whether the builder wires ``spec.transport`` through its senders."""
+        return "transport" in self.supports
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -75,13 +82,22 @@ def scenario(
     fidelities: Tuple[str, ...] = ("packet",),
     uses_population: bool = False,
     supports_transport: bool = False,
+    supports: Tuple[str, ...] = (),
 ) -> Callable:
-    """Class/function decorator registering a spec builder under ``name``."""
+    """Class/function decorator registering a spec builder under ``name``.
+
+    ``supports`` lists the registered component names the builder
+    honours; ``supports_transport=True`` is the historical spelling of
+    ``supports=("transport",)`` and folds into it.
+    """
 
     def register(builder: Callable[[ExperimentSpec], object]) -> Callable:
         if name in _REGISTRY:
             raise ValueError(f"scenario {name!r} is already registered")
         doc_lines = (builder.__doc__ or "").strip().splitlines()
+        supported = tuple(supports)
+        if supports_transport and "transport" not in supported:
+            supported += ("transport",)
         _REGISTRY[name] = ScenarioEntry(
             name=name,
             builder=builder,
@@ -90,7 +106,7 @@ def scenario(
             small_grid=small_grid,
             fidelities=tuple(fidelities),
             uses_population=uses_population,
-            supports_transport=supports_transport,
+            supports=supported,
         )
         return builder
 

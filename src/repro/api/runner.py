@@ -61,15 +61,27 @@ def build(spec: ExperimentSpec) -> BuiltExperiment:
             "population spec applies to the population scenarios "
             "(population_flash_crowd)"
         )
-    if spec.transport is not None and not entry.supports_transport:
-        supporting = sorted(
-            n for n in registry.names() if registry.get(n).supports_transport
-        )
-        raise SpecError(
-            f"scenario {spec.scenario!r} has no transport-paced senders; a "
-            f"transport spec applies to: {', '.join(supporting) or '(none)'}"
-        )
+    for name, hint in _GATED_COMPONENTS:
+        if spec.component(name) is not None and name not in entry.supports:
+            supporting = sorted(
+                n for n in registry.names() if name in registry.get(n).supports
+            )
+            raise SpecError(
+                f"scenario {spec.scenario!r} {hint}; a {name} spec applies "
+                f"to: {', '.join(supporting) or '(none)'}"
+            )
     return entry.builder(spec)
+
+
+#: Registered components only some scenarios honour, with the reason a
+#: non-supporting scenario gives when rejecting one.  Summary and
+#: reconfig are absent deliberately: every swarm scenario interprets
+#: them, and the builders that cannot raise their own targeted errors.
+_GATED_COMPONENTS = (
+    ("transport", "has no transport-paced senders"),
+    ("topology", "wires its own fixed overlay, not a generated topology"),
+    ("catalog", "disseminates a single object, not a multi-object catalog"),
+)
 
 
 def run(spec: ExperimentSpec) -> RunResult:

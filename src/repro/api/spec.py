@@ -167,6 +167,59 @@ class NodeSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Which structured overlay graph the swarm is wired over.
+
+    ``kind`` names a registered :mod:`repro.topology` generator
+    (``"scale_free"``, ``"clustered"``, ``"cdn_tiers"``, ``"random"``,
+    ``"ring"``); ``params`` holds that generator's integer parameters
+    (``attach``, ``clusters``, ``tiers``, ``fanout``, ``degree``),
+    stored as sorted pairs so the spec stays hashable (read with
+    :meth:`param`).  The graph itself is a pure function of ``(kind,
+    node count, seed, params)`` — :meth:`generate` replays it
+    bit-identically from the experiment seed via ``derive_seed``.
+    """
+
+    kind: str = "random"
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.kind), "topology kind must be non-empty")
+        from repro.topology import TopologyError, generator_entry
+
+        try:
+            entry = generator_entry(self.kind)
+        except TopologyError as exc:
+            raise SpecError(str(exc)) from None
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        unknown = sorted(set(self.params_dict()) - set(entry.params))
+        _require(
+            not unknown,
+            f"topology kind {self.kind!r} does not accept parameter(s) "
+            f"{', '.join(unknown)} (accepts: "
+            f"{', '.join(sorted(entry.params)) or 'none'})",
+        )
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def generate(self, n: int, seed: int):
+        """The concrete :class:`~repro.topology.GeneratedTopology`."""
+        from repro.topology import TopologyError, generate
+
+        try:
+            return generate(self.kind, n, seed, **self.params_dict())
+        except TopologyError as exc:
+            raise SpecError(str(exc)) from None
+
+
+@dataclass(frozen=True)
 class SwarmSpec:
     """The population and wiring substrate of a swarm experiment."""
 
@@ -175,6 +228,7 @@ class SwarmSpec:
     nodes: Tuple[NodeSpec, ...] = ()
     links: Tuple[LinkRuleSpec, ...] = ()
     reconfigure_every: int = 20
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         _require_int(self.target, "swarm target")
@@ -502,6 +556,40 @@ class PopulationSpec:
         _require(self.max_connections >= 1, "max_connections must be at least 1")
 
 
+@dataclass(frozen=True)
+class CatalogSpec:
+    """A multi-object content catalog with skewed demand.
+
+    ``objects`` distinct contents share the swarm's symbol target:
+    object sizes follow ``1/rank^size_skew`` (``0`` = equal sizes,
+    apportioned by largest remainder via :func:`repro.flow.demand.
+    apportion`), and per-peer demand follows ``1/rank^zipf_skew`` —
+    the same Zipf machinery :class:`PopulationSpec` uses at flow
+    fidelity.  ``priority_tiers`` > 0 splits the demand ranking into
+    that many delivery-priority bands (tier 0 = most popular), which
+    catalog-aware reconciliation weights when scoring candidates.
+
+    A spec with ``catalog`` unset (or ``objects=1``,
+    ``priority_tiers=0``) describes the historical single-object run.
+    """
+
+    objects: int = 1
+    zipf_skew: float = 0.8
+    size_skew: float = 0.0
+    priority_tiers: int = 0
+
+    def __post_init__(self) -> None:
+        _require_int(self.objects, "catalog objects")
+        _require_int(self.priority_tiers, "priority_tiers")
+        _require(self.objects >= 1, "catalog needs at least one object")
+        _require(self.zipf_skew >= 0.0, "zipf_skew must be non-negative")
+        _require(self.size_skew >= 0.0, "size_skew must be non-negative")
+        _require(
+            0 <= self.priority_tiers <= self.objects,
+            "priority_tiers must lie in [0, objects]",
+        )
+
+
 def _freeze_params(params: Any) -> Tuple[Tuple[str, Any], ...]:
     """Normalise scenario extras to a sorted tuple of (key, value) pairs."""
     if isinstance(params, Mapping):
@@ -546,6 +634,7 @@ class ExperimentSpec:
     transport: Optional[TransportSpec] = None
     measurement: MeasurementSpec = MeasurementSpec()
     population: Optional[PopulationSpec] = None
+    catalog: Optional[CatalogSpec] = None
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -587,6 +676,57 @@ class ExperimentSpec:
         _require(all(parts) and parts[0], f"override path {path!r} is malformed")
         return _override(self, parts, value, path)
 
+    # -- the component registry ---------------------------------------------
+
+    def component(self, name: str) -> Any:
+        """The registered component's current value (None when unset)."""
+        comp = component_def(name)
+        obj: Any = self
+        for segment in comp.path:
+            if obj is None:
+                return None
+            obj = getattr(obj, segment)
+        return obj
+
+    def with_component_spec(self, name: str, value: Any) -> "ExperimentSpec":
+        """A copy with the registered component ``name`` set to ``value``.
+
+        ``value`` must be an instance of the component's spec class (or
+        ``None`` to unset it); ``None`` intermediates on the path (no
+        swarm yet, say) are instantiated with their defaults.
+        """
+        comp = component_def(name)
+        _require(
+            value is None or isinstance(value, comp.cls),
+            f"component {name!r} takes a {comp.cls.__name__}, "
+            f"got {type(value).__name__}",
+        )
+        return _graft(self, comp.path, value)
+
+    def with_component(self, name: str, kind: Optional[str] = None, **fields: Any) -> "ExperimentSpec":
+        """A copy selecting component ``name``, built from keyword fields.
+
+        The one mechanism behind every ``with_*`` helper: ``kind`` maps
+        to the component's selector field (summary ``kind``, reconfig
+        ``policy``, ...), the rest pass through to the component spec's
+        constructor, and the result is grafted at the component's
+        registered path.  Unknown components and fields the spec class
+        rejects fold into :class:`SpecError`.
+        """
+        comp = component_def(name)
+        if kind is not None:
+            _require(
+                bool(comp.kind_field),
+                f"component {name!r} has no kind selector",
+            )
+            _require(
+                comp.kind_field not in fields,
+                f"component {name!r}: {comp.kind_field!r} given both "
+                f"positionally and by keyword",
+            )
+            fields[comp.kind_field] = kind
+        return self.with_component_spec(name, _construct(comp.cls, fields))
+
     @property
     def summary(self) -> Optional[SummarySpec]:
         """The experiment's summary selection (``strategy.summary``)."""
@@ -594,12 +734,7 @@ class ExperimentSpec:
 
     def with_summary(self, kind: str, **params: Any) -> "ExperimentSpec":
         """A copy selecting a summary kind for the whole experiment."""
-        return dataclasses.replace(
-            self,
-            strategy=dataclasses.replace(
-                self.strategy, summary=SummarySpec(kind=kind, params=params)
-            ),
-        )
+        return self.with_component("summary", kind, params=params)
 
     def with_reconfig(self, policy: str = "informed", **fields: Any) -> "ExperimentSpec":
         """A copy selecting an overlay reconfiguration policy.
@@ -611,9 +746,7 @@ class ExperimentSpec:
         kind = fields.pop("summary_kind", None)
         params = fields.pop("summary_params", None)
         summary = SummarySpec(kind=kind, params=params or ()) if kind else None
-        return dataclasses.replace(
-            self, reconfig=ReconfigSpec(policy=policy, summary=summary, **fields)
-        )
+        return self.with_component("reconfig", policy, summary=summary, **fields)
 
     def with_transport(self, policy: str = "open_loop", **fields: Any) -> "ExperimentSpec":
         """A copy selecting a sender transport policy.
@@ -623,53 +756,30 @@ class ExperimentSpec:
         :class:`TransportSpec` field.
         """
         params = fields.pop("params", None) or ()
-        return dataclasses.replace(
-            self, transport=TransportSpec(policy=policy, params=params, **fields)
-        )
+        return self.with_component("transport", policy, params=params, **fields)
+
+    def with_topology(self, kind: str = "random", **params: Any) -> "ExperimentSpec":
+        """A copy wiring the swarm over a structured topology."""
+        return self.with_component("topology", kind, params=params)
+
+    def with_catalog(self, objects: int = 1, **fields: Any) -> "ExperimentSpec":
+        """A copy disseminating a multi-object catalog."""
+        return self.with_component("catalog", objects=objects, **fields)
 
     # -- serialisation ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON-types dict; inverse of :meth:`from_dict`."""
-        out = dataclasses.asdict(self)
-        out["params"] = self.params_dict()
-        if self.strategy.summary is not None:
-            out["strategy"]["summary"]["params"] = self.strategy.summary.params_dict()
-        if self.reconfig is not None and self.reconfig.summary is not None:
-            out["reconfig"]["summary"]["params"] = self.reconfig.summary.params_dict()
-        if self.transport is not None:
-            out["transport"]["params"] = self.transport.params_dict()
-        if self.swarm is not None:
-            out["swarm"]["nodes"] = [dataclasses.asdict(n) for n in self.swarm.nodes]
-            out["swarm"]["links"] = [dataclasses.asdict(r) for r in self.swarm.links]
-        return out
+        return _spec_to_dict(self)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        _check_keys(cls, data)
+        _require(isinstance(data, Mapping), "spec must be a JSON object")
         _require("scenario" in data, "spec is missing the 'scenario' key")
-        swarm = data.get("swarm")
-        churn = data.get("churn")
-        reconfig = data.get("reconfig")
-        transport = data.get("transport")
-        population = data.get("population")
-        return cls(
-            scenario=data["scenario"],
-            seed=data.get("seed", 0),
-            swarm=_swarm_from_dict(swarm) if swarm is not None else None,
-            strategy=_strategy_from_dict(data.get("strategy")),
-            churn=_component_from_dict(ChurnSpec, churn) if churn is not None else None,
-            reconfig=_reconfig_from_dict(reconfig) if reconfig is not None else None,
-            transport=_transport_from_dict(transport) if transport is not None else None,
-            measurement=_component_from_dict(MeasurementSpec, data.get("measurement")),
-            population=_component_from_dict(PopulationSpec, population)
-            if population is not None
-            else None,
-            params=_freeze_params(data.get("params", ())),
-        )
+        return _spec_from_dict(cls, data)
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
@@ -689,7 +799,61 @@ _DEFAULTABLE_COMPONENTS = {
     "reconfig": ReconfigSpec,
     "transport": TransportSpec,
     "population": PopulationSpec,
+    "topology": TopologySpec,
+    "catalog": CatalogSpec,
 }
+
+
+@dataclass(frozen=True)
+class ComponentDef:
+    """One registered, selectable component of an :class:`ExperimentSpec`.
+
+    ``path`` is the field path from the spec root to where the
+    component lives; ``kind_field`` names the component's selector
+    field (``kind``/``policy``), empty when it has none.
+    """
+
+    name: str
+    cls: type
+    path: Tuple[str, ...]
+    kind_field: str = ""
+
+
+#: The declarative component registry behind
+#: :meth:`ExperimentSpec.with_component`: every selectable component,
+#: its spec class, and where it grafts.  ``with_summary`` /
+#: ``with_reconfig`` / ``with_transport`` / ``with_topology`` /
+#: ``with_catalog`` and the CLI's ``--summary``-family axes all
+#: delegate here; a new component registers instead of adding another
+#: hand-rolled copy of that plumbing.
+COMPONENTS: Dict[str, ComponentDef] = {
+    "summary": ComponentDef("summary", SummarySpec, ("strategy", "summary"), "kind"),
+    "reconfig": ComponentDef("reconfig", ReconfigSpec, ("reconfig",), "policy"),
+    "transport": ComponentDef("transport", TransportSpec, ("transport",), "policy"),
+    "topology": ComponentDef("topology", TopologySpec, ("swarm", "topology"), "kind"),
+    "catalog": ComponentDef("catalog", CatalogSpec, ("catalog",), ""),
+}
+
+
+def component_def(name: str) -> ComponentDef:
+    """The registry entry for ``name`` (:class:`SpecError` if absent)."""
+    try:
+        return COMPONENTS[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown component {name!r} (registered: {sorted(COMPONENTS)})"
+        ) from None
+
+
+def _graft(obj: Any, path: Tuple[str, ...], value: Any):
+    """Replace the field at ``path``, defaulting ``None`` intermediates."""
+    head, rest = path[0], path[1:]
+    if not rest:
+        return dataclasses.replace(obj, **{head: value})
+    child = getattr(obj, head)
+    if child is None:
+        child = _DEFAULTABLE_COMPONENTS[head]()
+    return dataclasses.replace(obj, **{head: _graft(child, rest, value)})
 
 
 def _is_scalar(value: Any) -> bool:
@@ -700,8 +864,8 @@ def _override(obj: Any, parts: list, value: Any, full_path: str):
     """Recursive core of :meth:`ExperimentSpec.with_override`."""
     head, rest = parts[0], parts[1:]
     # `params.KEY` addresses the scalar-extras mapping of the spec (or
-    # of a Summary/TransportSpec) rather than a dataclass field.
-    if head == "params" and isinstance(obj, (ExperimentSpec, SummarySpec, TransportSpec)):
+    # of a Summary/Transport/TopologySpec) rather than a dataclass field.
+    if head == "params" and isinstance(obj, _PARAMS_CLASSES):
         _require(
             len(rest) == 1,
             f"override {full_path!r}: 'params' takes exactly one key segment",
@@ -711,14 +875,12 @@ def _override(obj: Any, parts: list, value: Any, full_path: str):
             return obj.with_params(**{rest[0]: value})
         merged = obj.params_dict()
         merged[rest[0]] = value
-        if isinstance(obj, TransportSpec):
-            try:
-                return dataclasses.replace(obj, params=_freeze_params(merged))
-            except SpecError:
-                raise
-            except (TypeError, ValueError) as exc:
-                raise SpecError(f"override {full_path!r}: {exc}") from exc
-        return _construct(SummarySpec, {"kind": obj.kind, "params": _freeze_params(merged)})
+        try:
+            return dataclasses.replace(obj, params=_freeze_params(merged))
+        except SpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"override {full_path!r}: {exc}") from exc
     known = {f.name for f in fields(obj)}
     _require(
         head in known,
@@ -745,12 +907,15 @@ def _override(obj: Any, parts: list, value: Any, full_path: str):
         _require(
             default is not None,
             f"override {full_path!r}: {type(obj).__name__}.{head} is unset and "
-            f"has no default to extend",
+            f"has no default to extend (extendable when unset: "
+            f"{sorted(_DEFAULTABLE_COMPONENTS)})",
         )
         child = default()
     _require(
         dataclasses.is_dataclass(child),
-        f"override {full_path!r}: field {head!r} is not a component spec",
+        f"override {full_path!r}: field {head!r} is not a component spec "
+        f"(nested specs of {type(obj).__name__}: "
+        f"{sorted(_NESTED_SPEC_FIELDS.get(type(obj), {})) or ['none']})",
     )
     return dataclasses.replace(obj, **{head: _override(child, rest, value, full_path)})
 
@@ -777,90 +942,87 @@ def _construct(cls: type, kwargs: Mapping[str, Any]):
         raise SpecError(f"invalid {cls.__name__}: {exc}") from exc
 
 
-def _component_from_dict(cls: type, data: Optional[Mapping[str, Any]]):
-    """Build a flat component dataclass from a mapping (defaults if None)."""
-    if data is None:
-        return cls()
+#: Spec classes whose ``params`` field is a frozen scalar mapping (the
+#: serialisation and override layers treat it as a dict, not a field).
+_PARAMS_CLASSES = (ExperimentSpec, SummarySpec, TransportSpec, TopologySpec)
+
+#: Nested single-spec fields per dataclass: ``field -> (class,
+#: defaulted)``.  ``defaulted`` fields fall back to the class's
+#: defaults when the JSON value is ``null``/absent; the rest stay
+#: ``None``.  This one table drives :func:`_spec_from_dict`,
+#: :func:`_spec_to_dict`, and the override error messages — a new
+#: nested spec registers here instead of growing each walker a branch.
+_NESTED_SPEC_FIELDS: Dict[type, Dict[str, Tuple[type, bool]]] = {
+    ExperimentSpec: {
+        "swarm": (SwarmSpec, False),
+        "strategy": (StrategySpec, True),
+        "churn": (ChurnSpec, False),
+        "reconfig": (ReconfigSpec, False),
+        "transport": (TransportSpec, False),
+        "measurement": (MeasurementSpec, True),
+        "population": (PopulationSpec, False),
+        "catalog": (CatalogSpec, False),
+    },
+    StrategySpec: {"summary": (SummarySpec, False)},
+    ReconfigSpec: {"summary": (SummarySpec, False)},
+    SwarmSpec: {"topology": (TopologySpec, False)},
+    LinkRuleSpec: {"link": (LinkSpec, True)},
+}
+
+#: Nested spec-array fields per dataclass: ``field -> element class``.
+_LIST_SPEC_FIELDS: Dict[type, Dict[str, type]] = {
+    SwarmSpec: {"nodes": NodeSpec, "links": LinkRuleSpec},
+}
+
+
+def _spec_from_dict(cls: type, data: Mapping[str, Any]):
+    """Build any spec dataclass from a mapping, recursing per the tables."""
     _check_keys(cls, data)
-    return _construct(cls, data)
-
-
-def _summary_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[SummarySpec]:
-    if data is None:
-        return None
-    _check_keys(SummarySpec, data)
-    params = data.get("params", ())
-    _require(
-        params is None or isinstance(params, (Mapping, list, tuple)),
-        "SummarySpec params must be an object of scalars",
-    )
-    return _construct(
-        SummarySpec,
-        {"kind": data.get("kind", "bloom"), "params": _freeze_params(params or ())},
-    )
-
-
-def _reconfig_from_dict(data: Mapping[str, Any]) -> ReconfigSpec:
-    _check_keys(ReconfigSpec, data)
     kwargs = dict(data)
-    kwargs["summary"] = _summary_from_dict(data.get("summary"))
-    return _construct(ReconfigSpec, kwargs)
+    for key, (child_cls, defaulted) in _NESTED_SPEC_FIELDS.get(cls, {}).items():
+        child = kwargs.get(key)
+        if child is not None:
+            kwargs[key] = _spec_from_dict(child_cls, child)
+        elif key in kwargs:
+            kwargs[key] = child_cls() if defaulted else None
+    for key, child_cls in _LIST_SPEC_FIELDS.get(cls, {}).items():
+        value = kwargs.get(key, ())
+        _require(
+            isinstance(value, (list, tuple)),
+            f"{cls.__name__} {key!r} must be an array of objects",
+        )
+        kwargs[key] = tuple(_spec_from_dict(child_cls, item) for item in value)
+    if cls in _PARAMS_CLASSES and "params" in kwargs:
+        params = kwargs["params"]
+        _require(
+            params is None or isinstance(params, (Mapping, list, tuple)),
+            f"{cls.__name__} params must be an object of scalars",
+        )
+        kwargs["params"] = _freeze_params(params or ())
+    return _construct(cls, kwargs)
 
 
-def _transport_from_dict(data: Mapping[str, Any]) -> TransportSpec:
-    _check_keys(TransportSpec, data)
-    kwargs = dict(data)
-    params = data.get("params", ())
-    _require(
-        params is None or isinstance(params, (Mapping, list, tuple)),
-        "TransportSpec params must be an object of scalars",
-    )
-    kwargs["params"] = _freeze_params(params or ())
-    return _construct(TransportSpec, kwargs)
-
-
-def _strategy_from_dict(data: Optional[Mapping[str, Any]]) -> StrategySpec:
-    if data is None:
-        return StrategySpec()
-    _check_keys(StrategySpec, data)
-    kwargs = dict(data)
-    kwargs["summary"] = _summary_from_dict(data.get("summary"))
-    return _construct(StrategySpec, kwargs)
-
-
-def _spec_list(data: Mapping[str, Any], key: str, parent: str) -> tuple:
-    value = data.get(key, ())
-    _require(
-        isinstance(value, (list, tuple)),
-        f"{parent} {key!r} must be an array of objects",
-    )
-    return tuple(value)
-
-
-def _swarm_from_dict(data: Mapping[str, Any]) -> SwarmSpec:
-    _check_keys(SwarmSpec, data)
-    kwargs = dict(data)
-    kwargs["nodes"] = tuple(
-        _component_from_dict(NodeSpec, n)
-        for n in _spec_list(data, "nodes", "SwarmSpec")
-    )
-    kwargs["links"] = tuple(
-        _rule_from_dict(r) for r in _spec_list(data, "links", "SwarmSpec")
-    )
-    return _construct(SwarmSpec, kwargs)
-
-
-def _rule_from_dict(data: Mapping[str, Any]) -> LinkRuleSpec:
-    _check_keys(LinkRuleSpec, data)
-    return LinkRuleSpec(
-        sender_class=data.get("sender_class", "*"),
-        receiver_class=data.get("receiver_class", "*"),
-        link=_component_from_dict(LinkSpec, data.get("link")),
-    )
+def _spec_to_dict(obj: Any) -> Dict[str, Any]:
+    """The inverse walker: any spec dataclass to plain JSON types."""
+    out: Dict[str, Any] = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if f.name == "params" and isinstance(obj, _PARAMS_CLASSES):
+            out[f.name] = dict(value)
+        elif dataclasses.is_dataclass(value):
+            out[f.name] = _spec_to_dict(value)
+        elif isinstance(value, tuple):
+            out[f.name] = [_spec_to_dict(item) for item in value]
+        else:
+            out[f.name] = value
+    return out
 
 
 __all__ = [
     "SpecError",
+    "ComponentDef",
+    "COMPONENTS",
+    "component_def",
     "LINK_KINDS",
     "SEEDING_RULES",
     "SEED_BASES",
@@ -872,7 +1034,9 @@ __all__ = [
     "LinkSpec",
     "LinkRuleSpec",
     "NodeSpec",
+    "TopologySpec",
     "SwarmSpec",
+    "CatalogSpec",
     "SummarySpec",
     "StrategySpec",
     "ChurnSpec",

@@ -25,6 +25,7 @@ from repro.api.builders import (
 )
 from repro.api.congested import congested_swarm
 from repro.api.population import population_flash_crowd
+from repro.api.structured import cdn_catalog, scale_free_swarm
 from repro.api.tradeoff import summary_tradeoff
 
 __all__ = [
@@ -42,4 +43,6 @@ __all__ = [
     "adaptive_overlay",
     "congested_swarm",
     "population_flash_crowd",
+    "scale_free_swarm",
+    "cdn_catalog",
 ]

@@ -1,0 +1,28 @@
+"""Structured overlay topologies: deterministic, registry-backed generators.
+
+See :mod:`repro.topology.generators` for the generator registry and the
+individual graph families (scale-free, clustered, CDN tiers, random,
+ring).  The spec layer exposes these through ``TopologySpec`` on
+``SwarmSpec``; scenarios consume the resulting
+:class:`~repro.topology.generators.GeneratedTopology`.
+"""
+
+from repro.topology.generators import (
+    GeneratedTopology,
+    GeneratorEntry,
+    TopologyError,
+    generate,
+    generator_entry,
+    generator_names,
+    register_generator,
+)
+
+__all__ = [
+    "GeneratedTopology",
+    "GeneratorEntry",
+    "TopologyError",
+    "generate",
+    "generator_entry",
+    "generator_names",
+    "register_generator",
+]

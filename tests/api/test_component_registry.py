@@ -1,0 +1,152 @@
+"""The unified component-spec surface: one registry, one mechanism.
+
+``with_summary`` / ``with_reconfig`` / ``with_transport`` (and the new
+``with_topology`` / ``with_catalog``) are now thin delegates over
+``with_component``; these tests pin the delegation (byte-identical
+specs either way), the registry's introspection surface, and the
+improved dotted-override diagnostics that name the valid keys at the
+failing nesting level.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, SpecError, specs
+from repro.api.spec import (
+    COMPONENTS,
+    CatalogSpec,
+    ReconfigSpec,
+    SummarySpec,
+    TopologySpec,
+    TransportSpec,
+    component_def,
+)
+
+
+class TestRegistry:
+    def test_registered_components(self):
+        assert set(COMPONENTS) == {
+            "summary",
+            "reconfig",
+            "transport",
+            "topology",
+            "catalog",
+        }
+
+    def test_component_def_unknown_names_choices(self):
+        with pytest.raises(SpecError, match="topology"):
+            component_def("nosuch")
+
+    def test_component_reads_current_value(self):
+        spec = specs.flash_crowd()
+        assert spec.component("transport") is None
+        spec = spec.with_transport("aimd")
+        assert spec.component("transport").policy == "aimd"
+
+    def test_component_none_through_unset_intermediate(self):
+        spec = ExperimentSpec(scenario="x")  # no swarm at all
+        assert spec.component("topology") is None
+
+
+class TestDelegationEquivalence:
+    """The legacy with_* trio must stay byte-identical to with_component."""
+
+    def test_with_summary(self):
+        base = specs.flash_crowd()
+        legacy = base.with_summary("art", bits_per_element=16)
+        unified = base.with_component(
+            "summary", "art", params={"bits_per_element": 16}
+        )
+        assert legacy == unified
+        assert legacy.to_json() == unified.to_json()
+
+    def test_with_reconfig(self):
+        base = specs.flash_crowd()
+        legacy = base.with_reconfig("informed", interval=6.0, summary_kind="bloom")
+        unified = base.with_component(
+            "reconfig", "informed", interval=6.0, summary=SummarySpec(kind="bloom")
+        )
+        assert legacy == unified
+        assert legacy.to_json() == unified.to_json()
+
+    def test_with_transport(self):
+        base = specs.flash_crowd()
+        legacy = base.with_transport(
+            "aimd", params={"beta": 0.7}, bottleneck_rate=8.0
+        )
+        unified = base.with_component(
+            "transport", "aimd", params={"beta": 0.7}, bottleneck_rate=8.0
+        )
+        assert legacy == unified
+        assert legacy.to_json() == unified.to_json()
+
+    def test_with_topology(self):
+        base = specs.scale_free_swarm()
+        legacy = base.with_topology("clustered", clusters=4)
+        unified = base.with_component("topology", "clustered", params={"clusters": 4})
+        assert legacy == unified
+        assert legacy.swarm.topology == TopologySpec(
+            kind="clustered", params={"clusters": 4}
+        )
+
+    def test_with_catalog(self):
+        base = specs.cdn_catalog()
+        legacy = base.with_catalog(objects=6, zipf_skew=1.2)
+        unified = base.with_component("catalog", objects=6, zipf_skew=1.2)
+        assert legacy == unified
+        assert legacy.catalog == CatalogSpec(objects=6, zipf_skew=1.2)
+
+
+class TestWithComponent:
+    def test_sets_nested_component_through_path(self):
+        spec = specs.scale_free_swarm().with_component("topology", "ring")
+        assert spec.swarm.topology.kind == "ring"
+
+    def test_with_component_spec_type_checked(self):
+        with pytest.raises(SpecError, match="TransportSpec"):
+            specs.flash_crowd().with_component_spec(
+                "transport", SummarySpec(kind="bloom")
+            )
+
+    def test_with_component_spec_none_unsets(self):
+        spec = specs.cdn_catalog().with_component_spec("catalog", None)
+        assert spec.catalog is None
+
+    def test_kind_given_twice_rejected(self):
+        with pytest.raises(SpecError, match="positionally and by keyword"):
+            specs.flash_crowd().with_component("transport", "aimd", policy="aimd")
+
+    def test_component_without_kind_selector_rejects_kind(self):
+        with pytest.raises(SpecError, match="no kind selector"):
+            specs.cdn_catalog().with_component("catalog", "zipf")
+
+    def test_invalid_fields_fold_into_spec_error(self):
+        with pytest.raises(SpecError):
+            specs.flash_crowd().with_component("transport", "aimd", bogus=1)
+
+
+class TestOverrideDiagnostics:
+    """Satellite: unknown dotted segments name valid keys at that level."""
+
+    def test_unknown_top_level_key_names_fields(self):
+        with pytest.raises(SpecError, match="swarm"):
+            specs.flash_crowd().with_override("bogus.key", 1)
+
+    def test_unknown_nested_key_names_fields_at_that_level(self):
+        with pytest.raises(SpecError, match="interval"):
+            specs.flash_crowd().with_override("reconfig.bogus", 1)
+
+    def test_descending_into_scalar_names_nested_specs(self):
+        with pytest.raises(SpecError, match="nested specs of ExperimentSpec"):
+            specs.flash_crowd().with_override("seed.deeper", 1)
+
+    def test_unset_topology_instantiated_on_the_way(self):
+        spec = specs.flash_crowd()
+        assert spec.swarm.topology is None
+        overridden = spec.with_override("swarm.topology.kind", "ring")
+        assert overridden.swarm.topology == TopologySpec(kind="ring")
+
+    def test_defaultable_component_instantiated_on_the_way(self):
+        spec = specs.flash_crowd()
+        assert spec.reconfig is None
+        overridden = spec.with_override("reconfig.interval", 9.0)
+        assert overridden.reconfig == ReconfigSpec(interval=9.0)

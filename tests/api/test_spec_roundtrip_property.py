@@ -15,10 +15,12 @@ import pytest
 import repro.api.spec as spec_module
 from repro.api import ExperimentSpec, SpecError, specs
 from repro.api.spec import (
+    CatalogSpec,
     ChurnSpec,
     PopulationSpec,
     ReconfigSpec,
     SummarySpec,
+    TopologySpec,
     TransportSpec,
 )
 
@@ -35,6 +37,13 @@ def maximal_spec() -> ExperimentSpec:
     base = specs.asymmetric_bandwidth(seed=21)
     return dataclasses.replace(
         base,
+        swarm=dataclasses.replace(
+            base.swarm,
+            topology=TopologySpec(kind="scale_free", params={"attach": 2}),
+        ),
+        catalog=CatalogSpec(
+            objects=4, zipf_skew=1.2, size_skew=0.5, priority_tiers=2
+        ),
         strategy=dataclasses.replace(
             base.strategy,
             summary=SummarySpec(kind="art", params={"bits_per_element": 16}),
@@ -77,6 +86,8 @@ COMPONENT_PATHS = {
     "TransportSpec": ("transport",),
     "MeasurementSpec": ("measurement",),
     "PopulationSpec": ("population",),
+    "TopologySpec": ("swarm", "topology"),
+    "CatalogSpec": ("catalog",),
 }
 
 
@@ -120,9 +131,10 @@ def test_unset_optional_components_round_trip_to_none():
     spec = specs.pair_transfer(target=120, seed=1)
     restored = ExperimentSpec.from_json(spec.to_json())
     assert restored == spec
-    for field in ("churn", "reconfig", "transport", "population"):
+    for field in ("churn", "reconfig", "transport", "population", "catalog"):
         assert getattr(restored, field) is None, field
     assert restored.summary is None
+    assert restored.swarm.topology is None
 
 
 @pytest.mark.parametrize("name", sorted(COMPONENT_PATHS))
