@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate benchmark dumps: ``scripts/validate_bench.py <dir>``.
+"""Validate benchmark dumps: ``scripts/validate_bench.py [--baseline FILE] <dir>``.
 
 The CI bench-baseline job's schema gate: every ``BENCH_*.json`` the
 benchmark suite emitted (``REPRO_BENCH_JSON=<dir>``) must be an array
@@ -11,7 +11,15 @@ whose entries validate against their declared schema —
 renaming or adding a result key without bumping the schema version
 fails here instead of silently drifting the archived perf trajectory.
 
-Exit status: 0 = every file validates; 1 = drift or no files found.
+``--baseline FILE`` additionally compares each ``repro.bench_meta/1``
+entry's ``us_per_node_tick`` against the checked-in
+``repro.bench_baseline/1`` values: an entry slower than
+``tolerance x baseline`` prints a WARNING but does *not* fail the run
+— shared CI runners are too noisy for a hard perf gate.  A malformed
+baseline file, however, fails like any other schema drift.
+
+Exit status: 0 = every file validates (perf regressions only warn);
+1 = schema drift, malformed baseline, or no files found.
 """
 
 import glob
@@ -27,6 +35,8 @@ from repro.api.result import ResultSchemaError, validate_result_dict  # noqa: E4
 from repro.campaign import validate_campaign_dict  # noqa: E402
 
 BENCH_META_SCHEMA = "repro.bench_meta/1"
+BASELINE_SCHEMA = "repro.bench_baseline/1"
+BASELINE_METRIC = "us_per_node_tick"
 
 
 def _validate_entry(entry) -> None:
@@ -82,11 +92,110 @@ def validate_dir(out_dir: str) -> int:
     return 1 if failures else 0
 
 
+def load_baseline(path: str):
+    """The checked-in baseline, or raises :class:`ResultSchemaError`.
+
+    The baseline is part of the schema surface: a malformed or
+    version-drifted file must fail the gate (unlike the timing
+    comparison itself, which only warns).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ResultSchemaError(f"cannot read baseline {path!r}: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ResultSchemaError(
+            f"baseline {path!r} must declare schema {BASELINE_SCHEMA!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) and v > 0
+        for v in entries.values()
+    ):
+        raise ResultSchemaError(
+            f"baseline {path!r} needs an 'entries' object of positive numbers"
+        )
+    tolerance = payload.get("tolerance", 2.0)
+    if (
+        isinstance(tolerance, bool)
+        or not isinstance(tolerance, (int, float))
+        or tolerance < 1.0
+    ):
+        raise ResultSchemaError(
+            f"baseline {path!r} tolerance must be a number >= 1.0"
+        )
+    return entries, float(tolerance)
+
+
+def check_baseline(out_dir: str, baseline_path: str) -> int:
+    """Soft perf-regression gate: warn on slow entries, fail on drift.
+
+    Compares every ``repro.bench_meta/1`` entry carrying the baseline
+    metric against the checked-in value.  Regressions beyond the
+    tolerance factor print WARNINGs and keep exit status 0 (shared
+    runners); only a malformed baseline file returns 1.
+    """
+    try:
+        baseline, tolerance = load_baseline(baseline_path)
+    except ResultSchemaError as exc:
+        print(f"FAIL {exc}", file=sys.stderr)
+        return 1
+    measured = {}
+    for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue  # validate_dir already reported it
+        if not isinstance(payload, list):
+            continue
+        for entry in payload:
+            if (
+                isinstance(entry, dict)
+                and entry.get("schema") == BENCH_META_SCHEMA
+                and isinstance(entry.get(BASELINE_METRIC), (int, float))
+            ):
+                measured[entry["name"]] = float(entry[BASELINE_METRIC])
+    warnings = 0
+    for name, reference in sorted(baseline.items()):
+        value = measured.get(name)
+        if value is None:
+            print(f"WARNING baseline entry {name!r} was not measured this run")
+            warnings += 1
+        elif value > tolerance * reference:
+            print(
+                f"WARNING {name}: {BASELINE_METRIC}={value:.1f} exceeds "
+                f"{tolerance:g}x baseline {reference:.1f} — possible perf "
+                "regression (not failing: shared-runner timings are noisy)"
+            )
+            warnings += 1
+        else:
+            print(
+                f"ok   {name}: {BASELINE_METRIC}={value:.1f} "
+                f"(baseline {reference:.1f}, tolerance {tolerance:g}x)"
+            )
+    if warnings:
+        print(f"{warnings} baseline warning(s); not failing the gate")
+    return 0
+
+
 def main(argv) -> int:
-    if len(argv) != 2:
+    args = list(argv[1:])
+    baseline_path = None
+    if args and args[0] == "--baseline":
+        if len(args) < 2:
+            print(__doc__, file=sys.stderr)
+            return 1
+        baseline_path = args[1]
+        args = args[2:]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 1
-    return validate_dir(argv[1])
+    status = validate_dir(args[0])
+    if status == 0 and baseline_path is not None:
+        status = check_baseline(args[0], baseline_path)
+    return status
 
 
 if __name__ == "__main__":

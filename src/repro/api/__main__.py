@@ -24,12 +24,18 @@ benchmark dumps, and ``to_json`` are one format.
 ``--out`` never silently clobbers: an existing result file (or a
 directory with a finished campaign) is refused unless ``--force`` —
 or, for campaigns, ``--resume`` — is passed.
+
+``--profile [FILE]`` wraps the run (single or campaign) in cProfile
+and dumps pstats next to ``--out`` when no explicit path is given —
+feed the dump to ``python -m pstats`` to find the hot path.
 """
 
 import argparse
+import cProfile
 import dataclasses
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.api import registry, run
 from repro.api.output import prepare_out_file
@@ -313,6 +319,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", help="write the result JSON here instead of stdout"
     )
     parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        nargs="?",
+        const="",
+        default=None,
+        help=(
+            "profile the run under cProfile and dump pstats; without a "
+            "value the dump lands next to --out (<out>.pstats, or "
+            "profile.pstats inside a campaign directory), else "
+            "profile.pstats in the working directory.  Campaign cells "
+            "are covered when --workers=1 (in-process); worker "
+            "subprocesses are not profiled"
+        ),
+    )
+    parser.add_argument(
         "--series",
         action="store_true",
         help="include the full time-series rows in the result JSON",
@@ -401,6 +422,49 @@ def _load_campaign(args: argparse.Namespace):
     return campaign
 
 
+def _resolve_profile_path(
+    profile: Optional[str], out: Optional[str], campaign: bool
+) -> Optional[str]:
+    """Where ``--profile`` dumps its pstats, or None when not profiling.
+
+    An explicit path wins; a bare ``--profile`` lands next to ``--out``
+    (``<out>.pstats`` for a result file, ``profile.pstats`` inside a
+    campaign directory) and falls back to ``profile.pstats`` in the
+    working directory when there is no ``--out``.
+    """
+    if profile is None:
+        return None
+    if profile:
+        return profile
+    if out:
+        if campaign:
+            return os.path.join(out, "profile.pstats")
+        root, _ = os.path.splitext(out)
+        return root + ".pstats"
+    return "profile.pstats"
+
+
+def _maybe_profiled(call: Callable[[], Any], path: Optional[str]) -> Any:
+    """Run ``call`` — under cProfile, dumping to ``path``, when set.
+
+    The dump happens even when the run raises (a profile of the work up
+    to the failure is exactly what a hung-run investigation needs).
+    """
+    if path is None:
+        return call()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return call()
+    finally:
+        profiler.disable()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        profiler.dump_stats(path)
+        print(f"wrote profile {path}", file=sys.stderr)
+
+
 def _campaign_main(args: argparse.Namespace) -> int:
     """The ``--campaign`` / ``--campaign-scenario`` CLI path."""
     from repro.campaign import run_campaign
@@ -410,13 +474,16 @@ def _campaign_main(args: argparse.Namespace) -> int:
         if args.print_spec:
             print(campaign.to_json())
             return 0
-        result = run_campaign(
-            campaign,
-            workers=args.workers,
-            out_dir=args.out,
-            resume=args.resume,
-            force=args.force,
-            include_series=args.series,
+        result = _maybe_profiled(
+            lambda: run_campaign(
+                campaign,
+                workers=args.workers,
+                out_dir=args.out,
+                resume=args.resume,
+                force=args.force,
+                include_series=args.series,
+            ),
+            _resolve_profile_path(args.profile, args.out, campaign=True),
         )
     except (SpecError, registry.UnknownScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -477,7 +544,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Guard before spending the run: parents created, existing
             # results refused unless --force.
             prepare_out_file(args.out, force=args.force)
-        result = run(spec)
+        result = _maybe_profiled(
+            lambda: run(spec),
+            _resolve_profile_path(args.profile, args.out, campaign=False),
+        )
     except (SpecError, registry.UnknownScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -36,6 +36,12 @@ class SenderStrategy:
     #: Human-readable name matching the paper's legend.
     name: str = "abstract"
 
+    #: True when *constructing* this strategy consumed draws from its
+    #: RNG (Recode/BF's domain truncation).  Engines that skip a
+    #: redundant rebuild must not skip one that would have advanced the
+    #: shared RNG stream, or seeded runs diverge from the rebuild path.
+    construction_drew_rng: bool = False
+
     def __init__(self, working_set: WorkingSet, rng: Optional[random.Random] = None):
         if len(working_set) == 0:
             raise ValueError("a sender with an empty working set cannot transmit")
@@ -129,6 +135,7 @@ class _RecodeBase(SenderStrategy):
             # what the receiver asked for lets pending blends resolve
             # instead of scattering over symbols that will never arrive.
             self._domain = self.rng.sample(self._domain, domain_limit)
+            self.construction_drew_rng = True
         max_degree = max(1, min(max_degree, len(self._domain)))
         min_degree = max(1, min(min_degree, max_degree))
         self._distribution = DegreeDistribution.recoding_soliton(

@@ -4,10 +4,19 @@ Section 3's framing: sketches are an end-system's lightweight calling
 card; searchable summaries (Bloom filter, ART) cost more but enable
 fine-grained reconciliation.  :class:`WorkingSet` owns the symbol-id set
 and builds all of them with consistent parameters.
+
+Every mutation bumps a monotonically increasing :attr:`WorkingSet.
+version` stamp, and additions are journalled so a consumer holding a
+summary stamped at version ``v`` can fetch exactly the ids added since
+``v`` via :meth:`WorkingSet.added_since` and absorb them incrementally
+(Section 4's O(1)-per-symbol maintenance) instead of rebuilding from
+the full set.  Removals invalidate the journal — shrinking a sketch is
+not incremental — so ``added_since`` then answers ``None`` and callers
+fall back to a rebuild.
 """
 
 import random
-from typing import Iterable, Iterator, Optional, Set
+from typing import Iterable, Iterator, List, Optional, Set
 
 from repro.art import ApproximateReconciliationTree
 from repro.filters import BloomFilter
@@ -24,6 +33,34 @@ class WorkingSet:
 
     def __init__(self, ids: Iterable[int] = ()):
         self._ids: Set[int] = set(ids)
+        # Monotone change stamp: bumped once per successful mutation.
+        # Initial content counts as version 0 — a summary built now and
+        # stamped 0 can absorb everything added later.
+        self._version = 0
+        # Append-only journal of added ids; entry i was the add that
+        # produced version _log_base + i + 1.  Cleared (and re-based) on
+        # any removal, which no summary can absorb.
+        self._log: List[int] = []
+        self._log_base = 0
+
+    # -- change tracking ---------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp, bumped on every successful add or discard."""
+        return self._version
+
+    def added_since(self, version: int) -> Optional[List[int]]:
+        """Ids added after ``version``, or ``None`` if unrecoverable.
+
+        ``None`` means a removal intervened (or ``version`` predates the
+        journal): the caller must rebuild from :attr:`ids`.  An empty
+        list means nothing changed.  Ids are returned in insertion
+        order, each exactly once.
+        """
+        if not self._log_base <= version <= self._version:
+            return None
+        return self._log[version - self._log_base:]
 
     # -- set behaviour ----------------------------------------------------
 
@@ -46,6 +83,8 @@ class WorkingSet:
         if symbol_id in self._ids:
             return False
         self._ids.add(symbol_id)
+        self._version += 1
+        self._log.append(symbol_id)
         return True
 
     def update(self, ids: Iterable[int]) -> int:
@@ -53,7 +92,13 @@ class WorkingSet:
         return sum(1 for i in ids if self.add(i))
 
     def discard(self, symbol_id: int) -> None:
+        if symbol_id not in self._ids:
+            return
         self._ids.discard(symbol_id)
+        self._version += 1
+        # Removals cannot be absorbed into grown-only summaries.
+        self._log.clear()
+        self._log_base = self._version
 
     # -- ground-truth relations (used by scenario builders and tests) -----
 

@@ -23,14 +23,24 @@ class HashSetSummary:
             self._hash(x) for x in elements
         )
 
+    @staticmethod
+    def polynomial_bits(n_elements: int, exponent: int = 3) -> int:
+        """Hash width ``poly(|S|)`` auto-sizing picks for ``n_elements``.
+
+        Exposed so incremental maintainers can predict whether adding
+        ids changes the width (same width → hashes union; grown width →
+        rebuild).
+        """
+        n = max(2, n_elements)
+        return min(64, max(8, exponent * (n - 1).bit_length()))
+
     @classmethod
     def with_polynomial_range(
         cls, elements: Iterable[int], exponent: int = 3, seed: int = 0
     ) -> "HashSetSummary":
         """Size the hash range at ``|S|^exponent`` (the paper's ``poly(|S_A|)``)."""
         pool = list(elements)
-        n = max(2, len(pool))
-        bits = min(64, max(8, exponent * (n - 1).bit_length()))
+        bits = cls.polynomial_bits(len(pool), exponent)
         return cls(pool, hash_bits=bits, seed=seed)
 
     @classmethod

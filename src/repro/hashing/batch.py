@@ -132,6 +132,55 @@ def permutation_minima(family, keys: Iterable[int]) -> List[Optional[int]]:
     return [min((p.a * x + p.b) % u for x in key_list) for p in family]
 
 
+def permutation_minima_fold(
+    family, keys: Iterable[int], floor: Sequence[Optional[int]]
+) -> List[Optional[int]]:
+    """Elementwise ``min(floor, permutation_minima(keys))`` in one pass.
+
+    The incremental-absorb kernel: ``floor`` is an existing minima
+    vector and ``keys`` the delta being folded in; min is associative,
+    so the result equals a from-scratch build over the union — exact
+    integers, so the numpy and scalar paths are bit-identical.  ``None``
+    floor entries (an empty prior sketch) take the delta's value.  The
+    fused path avoids materialising the delta's Python list when both
+    sides are plain ints; mixed/None floors fall back to composing the
+    two scalar steps.
+    """
+    if len(floor) != len(family):
+        raise ValueError(
+            f"floor vector has {len(floor)} entries, family expects "
+            f"{len(family)}"
+        )
+    key_list = list(keys)
+    if not key_list:
+        return list(floor)
+    np = _numpy()
+    u = family.universe_size
+    if np is not None and u <= 1 << 32 and None not in floor:
+        try:
+            keys64 = np.asarray(key_list, dtype=np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            keys64 = None
+        if keys64 is not None:
+            if int(keys64.max()) >= u:
+                raise ValueError("key outside the family's universe")
+            a, b = _family_columns(family, np)
+            with np.errstate(over="ignore"):
+                merged = np.fromiter(
+                    floor, dtype=np.uint64, count=len(floor)
+                )
+                for start in range(0, len(keys64), _MINIMA_CHUNK):
+                    chunk = keys64[start : start + _MINIMA_CHUNK]
+                    part = ((a * chunk[None, :] + b) % np.uint64(u)).min(axis=1)
+                    np.minimum(merged, part, out=merged)
+            return [int(v) for v in merged]
+    delta = permutation_minima(family, key_list)
+    return [
+        d if m is None else (m if d is None else min(m, d))
+        for m, d in zip(floor, delta)
+    ]
+
+
 def bloom_index_matrix(hashes, keys: Sequence[int]):
     """``(n, k)`` uint64 probe-index matrix, or None off the numpy path.
 
@@ -177,6 +226,7 @@ def bloom_index_rows(hashes, keys: Sequence[int]) -> List[List[int]]:
 __all__ = [
     "mix64_batch",
     "permutation_minima",
+    "permutation_minima_fold",
     "bloom_index_matrix",
     "bloom_index_rows",
 ]

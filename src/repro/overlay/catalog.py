@@ -159,6 +159,10 @@ class CatalogNode(OverlayNode):
                 raise ValueError(f"demanded object {obj} outside catalog")
         target = sum(catalog.targets[obj] for obj in self.demand) or 1
         self._progress: Dict[int, int] = {}
+        #: (working-set version, wanted frozenset) — recomputed only
+        #: when the set's version stamp moves, so a reconfiguration
+        #: epoch gating many candidates pays the scan once per change.
+        self._wanted_cache: Optional[Tuple[int, frozenset]] = None
         super().__init__(
             node_id,
             target,
@@ -192,12 +196,23 @@ class CatalogNode(OverlayNode):
         return frozenset(obj for obj, n in self._progress.items() if n > 0)
 
     def wanted_objects(self) -> frozenset:
-        """Demanded objects still short of their target."""
-        return frozenset(
+        """Demanded objects still short of their target.
+
+        Stamped with the working set's version: the inventory gate in
+        :class:`CatalogScheme` consults this once per candidate pair,
+        and between symbol arrivals the answer cannot change.
+        """
+        version = self.working_set.version
+        cached = self._wanted_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        wanted = frozenset(
             obj
             for obj in self.demand
             if self._progress.get(obj, 0) < self.catalog.targets[obj]
         )
+        self._wanted_cache = (version, wanted)
+        return wanted
 
 
 class CatalogScheme(SummaryScheme):

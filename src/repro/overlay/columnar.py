@@ -61,28 +61,31 @@ _DEFAULT_UNIVERSE = 1 << 32
 class _MinwiseCardMatrix:
     """Flat int64 card rows for one min-wise scheme.
 
-    A node's row is its card's minima with ``None`` mapped to ``-1``;
-    working sets only grow, so a cached row is fresh exactly while the
-    set size is unchanged.
+    A node's row is its card's minima with ``None`` mapped to ``-1``.
+    Rows are dirty-stamped by the working set's *version* (and object
+    identity, guarding node-id reuse across churn): a budgeted epoch
+    over a mostly idle swarm re-derives only the rows whose sets
+    actually changed — and those through the card's incremental absorb
+    path, so the per-epoch cost tracks new symbols, not swarm size.
     """
 
     def __init__(self, scheme: SummaryScheme, np):
         self.scheme = scheme
         self.np = np
-        self._rows: Dict[str, Tuple[int, object]] = {}
+        self._rows: Dict[str, Tuple[object, int, object]] = {}
 
     def row_of(self, node: OverlayNode):
-        size = len(node.working_set)
+        ws = node.working_set
         cached = self._rows.get(node.node_id)
-        if cached is not None and cached[0] == size:
-            return cached[1]
+        if cached is not None and cached[0] is ws and cached[1] == ws.version:
+            return cached[2]
         minima = self.scheme.card_of(node).minima
         row = self.np.fromiter(
             (-1 if m is None else m for m in minima),
             dtype=self.np.int64,
             count=len(minima),
         )
-        self._rows[node.node_id] = (size, row)
+        self._rows[node.node_id] = (ws, ws.version, row)
         return row
 
 
@@ -106,6 +109,12 @@ class ColumnarOverlaySimulator(OverlaySimulator):
         self._col_stamp = -1
         # Min-wise card rows, shared across reconfiguration epochs.
         self._cards: Optional[_MinwiseCardMatrix] = None
+        # Receiver artefacts (Bloom filters / policy summaries) cached
+        # *across* refreshes, stamped (working-set object, version):
+        # a receiver whose set did not change between refreshes reuses
+        # its filter instead of rebuilding it.
+        self._receiver_filters: Dict[str, Tuple[object, int, object]] = {}
+        self._receiver_summaries: Dict[str, Tuple[object, int, object]] = {}
 
     # -- tick loop -----------------------------------------------------------
 
@@ -238,6 +247,38 @@ class ColumnarOverlaySimulator(OverlaySimulator):
 
     # -- bulk strategy refresh ----------------------------------------------
 
+    def _cached_receiver_artifact(
+        self,
+        cache: Dict[str, Tuple[object, int, object]],
+        receiver: OverlayNode,
+        build,
+    ):
+        """A receiver's filter/summary, rebuilt only when its set changed.
+
+        The artefact is a deterministic, RNG-free function of the
+        receiver's working set, so reuse across refreshes is exact while
+        the set object and its version stamp are both unchanged (object
+        identity guards node-id reuse across churn).
+        """
+        ws = receiver.working_set
+        cached = cache.get(receiver.node_id)
+        if cached is not None and cached[0] is ws and cached[1] == ws.version:
+            return cached[2]
+        artifact = build(ws)
+        cache[receiver.node_id] = (ws, ws.version, artifact)
+        return artifact
+
+    def _prune_receiver_caches(self) -> None:
+        """Drop artefacts for departed nodes (lazy, only when oversized)."""
+        for attr in ("_receiver_filters", "_receiver_summaries"):
+            cache = getattr(self, attr)
+            if len(cache) > len(self.nodes):
+                setattr(
+                    self,
+                    attr,
+                    {k: v for k, v in cache.items() if k in self.nodes},
+                )
+
     def _refresh_strategies(self) -> None:
         """Per-receiver summary builds, fanned out to every connection.
 
@@ -245,16 +286,23 @@ class ColumnarOverlaySimulator(OverlaySimulator):
         strategy construction) is identical to the reference loop; only
         the receiver-side artefact builds are deduplicated, which is
         safe because they are deterministic functions of the receiver's
-        working set.
+        working set.  With :attr:`incremental_refresh` on, the dedup
+        extends *across* refreshes (a receiver whose set is version-
+        unchanged keeps its filter) and connections whose endpoints are
+        both unchanged skip the rebuild outright — the same criterion
+        as the reference engine, so both engines consume identical RNG.
         """
         name = self.strategy_name
         policy = self.summary_policy
         need_filter = policy is None and name in ("Random/BF", "Recode/BF")
         need_summary = policy is not None and name not in ("Random", "Recode")
+        incremental = self.incremental_refresh
         filters: Dict[str, object] = {}
         summaries: Dict[str, object] = {}
         for key, conn in list(self.connections.items()):
             if conn.sender.is_source or conn.receiver.is_complete:
+                continue
+            if incremental and self._strategy_fresh(conn):
                 continue
             receiver = conn.receiver
             rid = receiver.node_id
@@ -262,15 +310,29 @@ class ColumnarOverlaySimulator(OverlaySimulator):
             if need_filter:
                 receiver_filter = filters.get(rid)
                 if receiver_filter is None:
-                    # Same build make_strategy performs (8 bits/elt).
-                    receiver_filter = receiver.working_set.bloom_summary(
-                        bits_per_element=8
-                    )
+                    if incremental:
+                        receiver_filter = self._cached_receiver_artifact(
+                            self._receiver_filters,
+                            receiver,
+                            # Same build make_strategy performs (8 bits/elt).
+                            lambda ws: ws.bloom_summary(bits_per_element=8),
+                        )
+                    else:
+                        receiver_filter = receiver.working_set.bloom_summary(
+                            bits_per_element=8
+                        )
                     filters[rid] = receiver_filter
             elif need_summary:
                 receiver_summary = summaries.get(rid)
                 if receiver_summary is None:
-                    receiver_summary = policy.build(receiver.working_set)
+                    if incremental:
+                        receiver_summary = self._cached_receiver_artifact(
+                            self._receiver_summaries,
+                            receiver,
+                            policy.build,
+                        )
+                    else:
+                        receiver_summary = policy.build(receiver.working_set)
                     summaries[rid] = receiver_summary
             conn.strategy = self._build_strategy(
                 conn.sender,
@@ -280,6 +342,8 @@ class ColumnarOverlaySimulator(OverlaySimulator):
             )
             if conn.strategy is None:
                 self.disconnect(*key)
+        if incremental:
+            self._prune_receiver_caches()
 
     # -- reconfiguration epochs ----------------------------------------------
 

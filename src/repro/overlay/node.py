@@ -26,7 +26,20 @@ class OverlayNode:
         is_source: sources hold the whole file and generate fresh
             encoding on demand (never run dry, never redundant).
         max_connections: inbound connection slots (download concurrency).
+
+    Cached sketches and summary cards are stamped with the working
+    set's :attr:`~repro.delivery.working_set.WorkingSet.version` and,
+    when the set grew since the stamp, brought current by *absorbing*
+    the journalled delta (Section 4's O(1)-per-symbol maintenance)
+    rather than rebuilding — bit-identical either way, which the parity
+    suites pin.  Kinds that cannot absorb, and working sets that shrank,
+    fall back to the rebuild.
     """
+
+    #: Class-wide switch for the absorb path.  Both paths publish
+    #: identical cards; the toggle exists so parity tests and the
+    #: incremental-vs-rebuild benchmarks can A/B them.
+    incremental_cards: bool = True
 
     def __init__(
         self,
@@ -45,9 +58,11 @@ class OverlayNode:
         self.is_source = is_source
         self.max_connections = max_connections
         self._sketch: Optional[MinwiseSketch] = None
-        self._sketch_dirty = True
-        self._cards: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
-        self._cards_dirty = True
+        self._sketch_version: Optional[int] = None
+        #: (kind, sorted params) -> (working-set version at build, card).
+        self._cards: Dict[
+            Tuple[str, Tuple[Tuple[str, Any], ...]], Tuple[int, Any]
+        ] = {}
         if is_source:
             start = fresh_id_start if fresh_id_start is not None else (1 << 40)
             self._fresh_ids = itertools.count(start)
@@ -64,12 +79,14 @@ class OverlayNode:
         return self.is_source or len(self.working_set) >= self.target
 
     def receive_symbol(self, symbol_id: int) -> bool:
-        """Add one symbol id; True if it was new."""
-        new = self.working_set.add(symbol_id)
-        if new:
-            self._sketch_dirty = True
-            self._cards_dirty = True
-        return new
+        """Add one symbol id; True if it was new.
+
+        Cache invalidation is implicit: the working set bumps its
+        version stamp, which the cached sketch/cards compare against —
+        so even ids added to ``working_set`` directly (scenario seeding)
+        invalidate correctly.
+        """
+        return self.working_set.add(symbol_id)
 
     def mint_fresh_id(self) -> int:
         """Sources only: a fresh encoded-symbol id nobody has seen."""
@@ -80,19 +97,37 @@ class OverlayNode:
     # -- calling card --------------------------------------------------------
 
     def sketch(self, family: PermutationFamily) -> MinwiseSketch:
-        """Current min-wise sketch (rebuilt lazily after updates).
+        """Current min-wise sketch, maintained incrementally (Section 4).
 
-        Incremental maintenance would be O(1) per symbol (Section 4);
-        rebuilding lazily on publication keeps the simulator simple while
-        preserving the protocol-visible behaviour.
+        New symbols since the cached stamp are absorbed via one batch
+        pass over the delta (:meth:`MinwiseSketch.absorb_vectorized`);
+        a shrunk working set — or a disabled :attr:`incremental_cards`
+        toggle — rebuilds from scratch.  Both paths publish identical
+        minima.
         """
-        if self._sketch is None or self._sketch_dirty:
-            ids = self.working_set.ids
-            # Sketch over the key universe the family expects.
-            self._sketch = MinwiseSketch.build_vectorized(
-                (i % family.universe_size for i in ids), family
-            )
-            self._sketch_dirty = False
+        ws = self.working_set
+        version = ws.version
+        if self._sketch is not None and self._sketch_version == version:
+            return self._sketch
+        if (
+            self._sketch is not None
+            and self._sketch_version is not None
+            and OverlayNode.incremental_cards
+        ):
+            delta = ws.added_since(self._sketch_version)
+            if delta is not None:
+                u = self._sketch.family.universe_size
+                self._sketch = self._sketch.absorb_vectorized(
+                    i % u for i in delta
+                )
+                self._sketch_version = version
+                return self._sketch
+        ids = ws.ids
+        # Sketch over the key universe the family expects.
+        self._sketch = MinwiseSketch.build_vectorized(
+            (i % family.universe_size for i in ids), family
+        )
+        self._sketch_version = version
         return self._sketch
 
     def summary_card(
@@ -102,27 +137,47 @@ class OverlayNode:
 
         The generic counterpart of :meth:`sketch`: builds a
         :class:`~repro.reconcile.base.Summary` through the adapter
-        registry and caches it until the working set changes, so a
-        reconfiguration epoch scanning many candidate pairs builds each
-        node's card once.  Min-wise cards fold ids into the family's
-        universe exactly as :meth:`sketch` does, so the two paths
-        publish identical minima.
+        registry, stamps it with the working set's version, and — for
+        kinds declaring ``supports_incremental`` — brings a stale card
+        current by absorbing the journalled delta instead of rebuilding,
+        so a reconfiguration epoch scanning many candidate pairs pays
+        per *new symbol*, not per working-set size.  The cache key
+        sorts ``params``, so permuted-but-equal tuples share one row.
+        Min-wise cards fold ids into the family's universe exactly as
+        :meth:`sketch` does, so the two paths publish identical minima.
         """
-        if self._cards_dirty:
-            self._cards.clear()
-            self._cards_dirty = False
-        key = (kind, params)
-        card = self._cards.get(key)
-        if card is None:
-            from repro.reconcile import build_summary
+        key = (kind, tuple(sorted(params)))
+        ws = self.working_set
+        version = ws.version
+        entry = self._cards.get(key)
+        if entry is not None:
+            stamp, card = entry
+            if stamp == version:
+                return card
+            if (
+                OverlayNode.incremental_cards
+                and getattr(card, "supports_incremental", False)
+                and card.is_local
+            ):
+                delta = ws.added_since(stamp)
+                if delta is not None:
+                    if kind == "minwise":
+                        universe = dict(params).get(
+                            "universe", DEFAULT_KEY_UNIVERSE
+                        )
+                        delta = [i % universe for i in delta]
+                    card = card.absorb(delta)
+                    self._cards[key] = (version, card)
+                    return card
+        from repro.reconcile import build_summary
 
-            kwargs = dict(params)
-            ids: Iterable[int] = self.working_set.ids
-            if kind == "minwise":
-                universe = kwargs.get("universe", DEFAULT_KEY_UNIVERSE)
-                ids = (i % universe for i in ids)
-            card = build_summary(kind, ids, **kwargs)
-            self._cards[key] = card
+        kwargs = dict(params)
+        ids: Iterable[int] = ws.ids
+        if kind == "minwise":
+            universe = kwargs.get("universe", DEFAULT_KEY_UNIVERSE)
+            ids = (i % universe for i in ids)
+        card = build_summary(kind, ids, **kwargs)
+        self._cards[key] = (version, card)
         return card
 
     def estimated_usefulness_of(

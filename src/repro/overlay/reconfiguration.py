@@ -35,8 +35,11 @@ class SummaryScheme:
     one scheme is shared by a simulator's admission and rewiring policies
     so every utility judgement in a run flows through the same summary
     structure.  Cards are built through
-    :meth:`~repro.overlay.node.OverlayNode.summary_card` (cached per
-    node until its working set changes).
+    :meth:`~repro.overlay.node.OverlayNode.summary_card`, which stamps
+    each card with the working set's version and brings a stale card
+    current by absorbing the journalled delta when the kind supports
+    incremental updates — so a reconfiguration epoch scanning many
+    candidate pairs pays per new symbol, not per working-set size.
 
     Args:
         kind: registered summary kind (``"minwise"``, ``"bloom"``, ...).

@@ -178,6 +178,16 @@ class SimulationReport:
 class OverlaySimulator:
     """Drives nodes, connections, and adaptation policies on an event clock.
 
+    The periodic strategy refresh is *incremental*: a connection whose
+    sender and receiver working sets are both unchanged since its
+    strategy was built (same set object, same version stamp) is
+    skipped, because rebuilding from identical inputs yields an
+    identical strategy — unless construction itself drew from the
+    shared RNG (Recode/BF domain truncation), in which case skipping
+    would desynchronise the stream and the rebuild always runs.  Set
+    the class attribute ``incremental_refresh = False`` to force the
+    historical rebuild-everything pass (parity A/B, benchmarks).
+
     Args:
         topology: the virtual overlay (optionally over a physical net).
         sketch_family: shared min-wise family for calling cards.
@@ -213,6 +223,12 @@ class OverlaySimulator:
             pacing) and learns from acks/timeouts.  ``None`` keeps the
             historical open-loop behaviour bit-identically.
     """
+
+    #: Skip strategy rebuilds for connections whose endpoints' working
+    #: sets are version-unchanged (see the class docstring).  Both
+    #: settings produce bit-identical runs; False restores the
+    #: rebuild-everything refresh for A/B measurement.
+    incremental_refresh: bool = True
 
     def __init__(
         self,
@@ -475,7 +491,7 @@ class OverlaySimulator:
             return None
         deficit = max(1, receiver.target - len(receiver.working_set))
         slots = max(1, receiver.max_connections)
-        return make_strategy(
+        strategy = make_strategy(
             self.strategy_name,
             sender.working_set,
             receiver.working_set,
@@ -484,6 +500,39 @@ class OverlaySimulator:
             summary_policy=self.summary_policy,
             receiver_summary=receiver_summary,
             receiver_filter=receiver_filter,
+        )
+        # Endpoint stamp: a later refresh may skip the rebuild while
+        # both working sets are the same *objects* at the same version
+        # (object identity guards node-id reuse across churn).
+        strategy._endpoint_stamp = (
+            sender.working_set,
+            sender.working_set.version,
+            receiver.working_set,
+            receiver.working_set.version,
+        )
+        return strategy
+
+    def _strategy_fresh(self, conn: Connection) -> bool:
+        """True when rebuilding ``conn``'s strategy would change nothing.
+
+        A strategy is a deterministic function of (sender set, receiver
+        set, receiver target/slots, strategy name, policy); with both
+        sets version-unchanged the rebuild reproduces it exactly —
+        *except* when construction drew from the shared RNG, which a
+        skip must never suppress.
+        """
+        s = conn.strategy
+        if s is None or getattr(s, "construction_drew_rng", False):
+            return False
+        stamp = getattr(s, "_endpoint_stamp", None)
+        if stamp is None:
+            return False
+        sender_ws, sender_v, receiver_ws, receiver_v = stamp
+        return (
+            sender_ws is conn.sender.working_set
+            and sender_v == sender_ws.version
+            and receiver_ws is conn.receiver.working_set
+            and receiver_v == receiver_ws.version
         )
 
     def _refresh_strategies(self) -> None:
@@ -494,10 +543,15 @@ class OverlaySimulator:
         be passed periodically."  Rebuilding a connection's strategy
         refreshes both the sender's recoding domain (new content becomes
         shareable) and the receiver's summary (delivered content stops
-        being offered).
+        being offered) — so connections whose endpoints are both
+        unchanged since the last build are skipped (nothing to refresh),
+        unless :attr:`incremental_refresh` is off.
         """
+        incremental = self.incremental_refresh
         for key, conn in list(self.connections.items()):
             if conn.sender.is_source or conn.receiver.is_complete:
+                continue
+            if incremental and self._strategy_fresh(conn):
                 continue
             conn.strategy = self._build_strategy(conn.sender, conn.receiver)
             if conn.strategy is None:

@@ -26,7 +26,7 @@ headers — matching the byte accounting the protocol messages report.
 """
 
 import random
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from functools import lru_cache
 
@@ -37,7 +37,11 @@ from repro.exact.hashset import HashSetSummary
 from repro.filters.bloom import BloomFilter, optimal_hash_count
 from repro.filters.counting import CountingBloomFilter
 from repro.filters.partitioned import PartitionedBloomFilter
-from repro.hashing.batch import mix64_batch, permutation_minima
+from repro.hashing.batch import (
+    mix64_batch,
+    permutation_minima,
+    permutation_minima_fold,
+)
 from repro.hashing.mix import mix64
 from repro.hashing.permutations import PermutationFamily
 from repro.reconcile.base import (
@@ -89,6 +93,7 @@ class MinwiseSummary(Summary):
     kind = "minwise"
     supports_merge = True
     supports_estimate = True
+    supports_incremental = True
 
     def __init__(
         self,
@@ -118,6 +123,21 @@ class MinwiseSummary(Summary):
         family = _shared_family(entries, universe, seed)
         minima = permutation_minima(family, pool)
         return cls(minima, len(pool), entries, universe, seed, local_ids=pool)
+
+    def absorb(self, new_ids: Iterable[int]) -> "MinwiseSummary":
+        """Coordinate-wise min against the fresh ids' minima (min is
+        associative, so this is exactly the union's sketch)."""
+        pool = self._require_local("incremental min-wise update")
+        fresh = frozenset(new_ids) - pool
+        if not fresh:
+            return self
+        family = _shared_family(self.entries, self.universe, self.seed)
+        merged = permutation_minima_fold(family, fresh, self.minima)
+        union = pool | fresh
+        return MinwiseSummary(
+            merged, len(union), self.entries, self.universe, self.seed,
+            local_ids=union,
+        )
 
     def wire_bytes(self) -> int:
         return 4 + 8 * len(self.minima)
@@ -377,6 +397,12 @@ class BloomSummary(Summary):
     supports_difference = True
     supports_merge = True
     supports_estimate = True
+    supports_incremental = True
+
+    #: Build parameters retained on local builds so :meth:`absorb` can
+    #: replay the exact auto-sizing a rebuild would use; ``None`` after
+    #: wire reconstruction (absorb then refuses via ``_require_local``).
+    _build_params: Optional[Dict[str, Any]] = None
 
     def __init__(
         self,
@@ -395,14 +421,64 @@ class BloomSummary(Summary):
         bits_per_element: int = 8,
         k_hashes: Optional[int] = None,
         seed: int = 0,
+        m_bits: Optional[int] = None,
     ) -> "BloomSummary":
+        """``m_bits`` pins the array size explicitly (skipping the
+        n-scaled auto-sizing), which keeps :meth:`absorb` genuinely
+        incremental: a fixed ``(m, k)`` never forces a resize rebuild.
+        """
         pool = frozenset(ids)
-        n = max(1, len(pool))
-        m = max(8, bits_per_element * n)
-        k = k_hashes if k_hashes is not None else optimal_hash_count(m, n)
+        m, k = cls._sizing(len(pool), bits_per_element, k_hashes, m_bits)
         bloom = BloomFilter(m, k, seed)
         bloom.bulk_update(sorted(pool))
-        return cls(bloom, len(pool), local_ids=pool)
+        out = cls(bloom, len(pool), local_ids=pool)
+        out._build_params = {
+            "bits_per_element": bits_per_element,
+            "k_hashes": k_hashes,
+            "seed": seed,
+            "m_bits": m_bits,
+        }
+        return out
+
+    @staticmethod
+    def _sizing(
+        n_ids: int,
+        bits_per_element: int,
+        k_hashes: Optional[int],
+        m_bits: Optional[int],
+    ) -> Tuple[int, int]:
+        n = max(1, n_ids)
+        m = m_bits if m_bits else max(8, bits_per_element * n)
+        k = k_hashes if k_hashes is not None else optimal_hash_count(m, n)
+        return m, k
+
+    def absorb(self, new_ids: Iterable[int]) -> "BloomSummary":
+        pool = self._require_local("incremental bloom update")
+        if self._build_params is None:
+            return super().absorb(new_ids)
+        fresh = frozenset(new_ids) - pool
+        if not fresh:
+            return self
+        union = pool | fresh
+        p = self._build_params
+        m, k = self._sizing(
+            len(union), p["bits_per_element"], p["k_hashes"], p["m_bits"]
+        )
+        if (m, k) == (self.bloom.m, self.bloom.k):
+            # Sizing unchanged: copy the live bits, OR in only the
+            # fresh ids (scatter-OR is order-free, so this equals one
+            # bulk build over the union bit for bit).
+            bloom = BloomFilter.from_bytes(
+                self.bloom.to_bytes(), m, k, self.bloom.seed
+            )
+            bloom.count = self.bloom.count
+            bloom.bulk_update(sorted(fresh))
+        else:
+            bloom = BloomFilter(m, k, p["seed"])
+            bloom.bulk_update(sorted(union))
+        out = BloomSummary(bloom, len(union), local_ids=union)
+        out._build_params = p
+        return out
 
     def wire_bytes(self) -> int:
         return 4 + 12 + self.bloom.size_bytes()
@@ -470,6 +546,7 @@ class CountingBloomSummary(BloomSummary):
     supports_difference = True
     supports_merge = True
     supports_estimate = True
+    supports_incremental = True
 
     def __init__(
         self,
@@ -488,15 +565,63 @@ class CountingBloomSummary(BloomSummary):
         buckets_per_element: int = 8,
         k_hashes: int = 5,
         seed: int = 0,
+        m_buckets: Optional[int] = None,
     ) -> "CountingBloomSummary":
+        """``m_buckets`` pins the counter-array size (same role as
+        ``m_bits`` on :class:`BloomSummary`): fixed sizing keeps
+        :meth:`absorb` incremental instead of resize-rebuilding."""
         pool = frozenset(ids)
-        cbf = CountingBloomFilter.for_elements(
-            sorted(pool),
-            buckets_per_element=buckets_per_element,
-            k_hashes=k_hashes,
-            seed=seed,
+        if m_buckets:
+            cbf = CountingBloomFilter(m_buckets, k_hashes, seed)
+            for x in sorted(pool):
+                cbf.add(x)
+        else:
+            cbf = CountingBloomFilter.for_elements(
+                sorted(pool),
+                buckets_per_element=buckets_per_element,
+                k_hashes=k_hashes,
+                seed=seed,
+            )
+        out = cls(cbf, len(pool), local_ids=pool)
+        out._build_params = {
+            "buckets_per_element": buckets_per_element,
+            "k_hashes": k_hashes,
+            "seed": seed,
+            "m_buckets": m_buckets,
+        }
+        return out
+
+    def absorb(self, new_ids: Iterable[int]) -> "CountingBloomSummary":
+        pool = self._require_local("incremental counting-bloom update")
+        if self._build_params is None:
+            return Summary.absorb(self, new_ids)
+        fresh = frozenset(new_ids) - pool
+        if not fresh:
+            return self
+        union = pool | fresh
+        p = self._build_params
+        m = p["m_buckets"] or max(
+            8, p["buckets_per_element"] * max(1, len(union))
         )
-        return cls(cbf, len(pool), local_ids=pool)
+        if m == self.cbf.m:
+            # Saturating increments commute, so adding only the fresh
+            # ids onto copied counters equals one build over the union.
+            cbf = CountingBloomFilter.from_bytes(
+                self.cbf.to_bytes(), m, self.cbf.k, self.cbf.seed,
+                count=self.cbf.count,
+            )
+            for x in sorted(fresh):
+                cbf.add(x)
+        else:
+            cbf = CountingBloomFilter.for_elements(
+                sorted(union),
+                buckets_per_element=p["buckets_per_element"],
+                k_hashes=p["k_hashes"],
+                seed=p["seed"],
+            )
+        out = CountingBloomSummary(cbf, len(union), local_ids=union)
+        out._build_params = p
+        return out
 
     def wire_bytes(self) -> int:
         return 4 + 12 + self.cbf.size_bytes()
@@ -926,6 +1051,11 @@ class HashSetSummaryAdapter(Summary):
     supports_difference = True
     supports_merge = True
     supports_estimate = True
+    supports_incremental = True
+
+    #: ``hash_bits`` as requested at build time (0 = poly auto-sizing);
+    #: ``None`` after wire reconstruction, which cannot absorb.
+    _requested_bits: Optional[int] = None
 
     def __init__(
         self,
@@ -949,7 +1079,36 @@ class HashSetSummaryAdapter(Summary):
                 summary = HashSetSummary.with_polynomial_range(sorted(pool), seed=seed)
         except ValueError as exc:
             raise SummaryError(str(exc)) from exc
-        return cls(summary, len(pool), local_ids=pool)
+        out = cls(summary, len(pool), local_ids=pool)
+        out._requested_bits = hash_bits
+        return out
+
+    def absorb(self, new_ids: Iterable[int]) -> "HashSetSummaryAdapter":
+        pool = self._require_local("incremental hash-set update")
+        if self._requested_bits is None:
+            return super().absorb(new_ids)
+        fresh = frozenset(new_ids) - pool
+        if not fresh:
+            return self
+        union = pool | fresh
+        if self._requested_bits:
+            bits = self._requested_bits
+        else:
+            bits = HashSetSummary.polynomial_bits(len(union))
+        if bits == self.hashset.hash_bits:
+            hashes = self.hashset.hashes | {
+                mix64(x, self.hashset.seed) >> (64 - bits) for x in fresh
+            }
+            summary = HashSetSummary.from_hashes(
+                hashes, hash_bits=bits, seed=self.hashset.seed
+            )
+        else:
+            summary = HashSetSummary(
+                sorted(union), hash_bits=bits, seed=self.hashset.seed
+            )
+        out = HashSetSummaryAdapter(summary, len(union), local_ids=union)
+        out._requested_bits = self._requested_bits
+        return out
 
     def wire_bytes(self) -> int:
         return 4 + 2 + self.hashset.size_bytes()  # + hash-width header

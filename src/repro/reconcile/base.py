@@ -64,6 +64,13 @@ class Summary(abc.ABC):
     #: the key space (one residue partition, say) — difference *counts*
     #: then understate the truth and must not feed correlation directly.
     partial_coverage: ClassVar[bool] = False
+    #: True when :meth:`absorb` can fold newly added ids into a locally
+    #: built summary, producing exactly what a from-scratch rebuild over
+    #: the union would (min-wise minima, Bloom-family bit arrays);
+    #: structures whose content depends globally on the full set (mod-k
+    #: truncation, ART tries, CPI polynomials, ...) leave this False and
+    #: keep the rebuild path.
+    supports_incremental: ClassVar[bool] = False
 
     #: Number of distinct ids summarised (travels in the 4-byte header).
     set_size: int = 0
@@ -131,6 +138,27 @@ class Summary(abc.ABC):
             f"{self.kind or type(self).__name__} summaries do not support merging"
         )
 
+    def absorb(self, new_ids: Iterable[int]) -> "Summary":
+        """Fold newly added ids in; **bit-identical** to a full rebuild.
+
+        Returns a new summary equal — payload for payload — to
+        ``type(self).build(old_ids | set(new_ids), **same build params)``.
+        Never mutates ``self`` (cached references stay valid), requires
+        a locally built summary (wire reconstructions no longer know
+        their ids or build parameters), and may fall back to an internal
+        rebuild when the structure's auto-sizing changes with the new
+        cardinality — the contract is the output, not the work saved.
+        Ids already summarised are ignored.
+        """
+        raise SummaryError(
+            f"{self.kind or type(self).__name__} summaries do not support "
+            "incremental updates; rebuild from the full id set"
+        )
+
+    def add(self, key: int) -> "Summary":
+        """Absorb a single id — sugar over :meth:`absorb`."""
+        return self.absorb((key,))
+
     def estimate_difference(self, other: "Summary") -> float:
         """Estimated symmetric-difference size ``|A Δ B|``."""
         raise SummaryError(
@@ -194,6 +222,7 @@ class Summary(abc.ABC):
             "merge": cls.supports_merge,
             "estimate": cls.supports_estimate,
             "exact": cls.exact,
+            "incremental": cls.supports_incremental,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

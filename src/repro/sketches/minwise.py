@@ -97,6 +97,29 @@ class MinwiseSketch:
         """The raw vector ``v(A)`` that goes on the wire."""
         return list(self._minima)
 
+    def absorb_vectorized(self, keys: Iterable[int]) -> "MinwiseSketch":
+        """A new sketch with ``keys`` folded in, via the batch kernel.
+
+        The incremental counterpart of :meth:`build_vectorized`: min is
+        associative, so the coordinate-wise minimum of the current
+        vector and the delta's :func:`~repro.hashing.batch.
+        permutation_minima` equals a from-scratch build over the union —
+        bit for bit, which the parity suites pin.  ``self`` is left
+        untouched (handed-out references stay valid); cost is one batch
+        pass over the delta instead of the whole working set.
+        """
+        from repro.hashing.batch import permutation_minima_fold
+
+        key_list = list(keys)
+        if not key_list:
+            return self
+        merged = MinwiseSketch(self.family)
+        merged._minima = permutation_minima_fold(
+            self.family, key_list, self._minima
+        )
+        merged._count = self._count + len(key_list)
+        return merged
+
     def add(self, key: int) -> None:
         """Fold one new symbol into the sketch (incremental update).
 

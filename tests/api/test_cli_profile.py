@@ -1,0 +1,112 @@
+"""CLI surface of ``--profile``: cProfile dumps for runs and campaigns."""
+
+import json
+import os
+import pstats
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.__main__ import _resolve_profile_path
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.api", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(cwd),
+    )
+
+
+def _assert_loadable_profile(path):
+    assert os.path.isfile(path)
+    stats = pstats.Stats(str(path))
+    assert stats.total_calls > 0
+
+
+class TestResolveProfilePath:
+    def test_absent_flag_profiles_nothing(self):
+        assert _resolve_profile_path(None, "out.json", campaign=False) is None
+
+    def test_explicit_path_wins(self):
+        assert (
+            _resolve_profile_path("custom.pstats", "out.json", campaign=False)
+            == "custom.pstats"
+        )
+
+    def test_bare_flag_lands_next_to_the_single_run_output(self):
+        assert (
+            _resolve_profile_path("", "results/run.json", campaign=False)
+            == os.path.join("results", "run.pstats")
+        )
+
+    def test_bare_flag_lands_inside_the_campaign_directory(self):
+        assert (
+            _resolve_profile_path("", "campaign-out", campaign=True)
+            == os.path.join("campaign-out", "profile.pstats")
+        )
+
+    def test_bare_flag_without_out_uses_the_default_name(self):
+        assert _resolve_profile_path("", None, campaign=False) == "profile.pstats"
+
+
+class TestSingleRunProfile:
+    def test_bare_profile_writes_next_to_out(self, tmp_path):
+        out = tmp_path / "run.json"
+        proc = _cli(
+            "--scenario", "pair_transfer", "--summary", "bloom",
+            "--out", str(out), "--profile",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert out.is_file()
+        _assert_loadable_profile(tmp_path / "run.pstats")
+        assert "wrote profile" in proc.stderr
+
+    def test_explicit_profile_path_wins(self, tmp_path):
+        out = tmp_path / "run.json"
+        target = tmp_path / "deep" / "custom.pstats"
+        proc = _cli(
+            "--scenario", "pair_transfer", "--summary", "bloom",
+            "--out", str(out), "--profile", str(target),
+        )
+        assert proc.returncode == 0, proc.stderr
+        _assert_loadable_profile(target)
+        assert not (tmp_path / "run.pstats").exists()
+
+    def test_profile_without_out_defaults_to_cwd(self, tmp_path):
+        proc = _cli(
+            "--scenario", "pair_transfer", "--summary", "bloom", "--profile",
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        json.loads(proc.stdout)  # the run result still lands on stdout
+        _assert_loadable_profile(tmp_path / "profile.pstats")
+
+    def test_no_flag_writes_no_profile(self, tmp_path):
+        out = tmp_path / "run.json"
+        proc = _cli(
+            "--scenario", "pair_transfer", "--summary", "bloom", "--out", str(out)
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert not (tmp_path / "run.pstats").exists()
+
+
+class TestCampaignProfile:
+    @pytest.mark.slow
+    def test_campaign_cells_profile_into_the_out_directory(self, tmp_path):
+        out = tmp_path / "camp"
+        proc = _cli(
+            "--campaign-scenario", "pair_transfer",
+            "--workers", "2", "--out", str(out), "--profile",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert (out / "campaign.json").is_file()
+        _assert_loadable_profile(out / "profile.pstats")

@@ -1,0 +1,262 @@
+"""Incremental summary maintenance: parity pins and rebuild-skip spies.
+
+The hot-path contract: with ``OverlayNode.incremental_cards`` and
+``OverlaySimulator.incremental_refresh`` on (the defaults), every run is
+**bit-identical** to the rebuild-on-dirty path — incremental maintenance
+is an optimisation, never a semantic.  These tests pin that across the
+seeded scenario catalog on both engines (with and without numpy), spy on
+the receiver-artefact builds to prove unchanged receivers really skip
+the rebuild, and hold the :meth:`OverlayNode.summary_card` cache-key
+regression (permuted-but-equal params tuples share one row).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import build, run, specs
+from repro.delivery.working_set import WorkingSet
+from repro.overlay.node import OverlayNode
+from repro.overlay.simulator import OverlaySimulator
+
+import repro.hashing.batch as batch
+
+
+def _with_engine(spec, engine):
+    return replace(spec, measurement=replace(spec.measurement, engine=engine))
+
+
+def _run_with_toggles(spec, incremental: bool):
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(OverlayNode, "incremental_cards", incremental)
+        # Columnar inherits the class attribute, so one patch covers
+        # both engines.
+        mp.setattr(OverlaySimulator, "incremental_refresh", incremental)
+        return run(spec)
+
+
+CATALOG = {
+    "flash_crowd": lambda: specs.flash_crowd(
+        num_peers=16, target=60, initial_seeded=3, waves=2, wave_interval=8, seed=11
+    ),
+    "random_overlay": lambda: specs.random_overlay(num_peers=8, target=120, seed=17),
+    "adaptive_overlay": lambda: specs.adaptive_overlay(
+        mirrors_per_group=3, joiners=3, target=60, seed=2, max_ticks=4_000
+    ),
+    "informed_scan_budget": lambda: (
+        specs.random_overlay(num_peers=10, target=120, seed=9)
+        .with_override("reconfig.policy", "informed")
+        .with_override("reconfig.scan_budget", 4)
+    ),
+    "bloom_reconfig_summary": lambda: (
+        specs.random_overlay(num_peers=8, target=100, seed=3)
+        .with_override("reconfig.policy", "informed")
+        .with_override("reconfig.summary.kind", "bloom")
+    ),
+    "cdn_catalog": lambda: specs.cdn_catalog(
+        regionals=2, edge_peers=6, objects=3, target=36, seed=5
+    ),
+}
+
+
+class TestIncrementalParity:
+    """Incremental == rebuild, report for report, on both engines."""
+
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_scenario(self, name, engine):
+        spec = _with_engine(CATALOG[name](), engine)
+        fast = _run_with_toggles(spec, True)
+        slow = _run_with_toggles(spec, False)
+        assert fast.metrics == slow.metrics
+        if slow.report is not None:
+            assert fast.report == slow.report
+        assert fast.completed == slow.completed
+
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    @pytest.mark.parametrize("name", ["flash_crowd", "informed_scan_budget"])
+    def test_scenario_without_numpy(self, name, engine, monkeypatch):
+        monkeypatch.setattr(batch, "_numpy", lambda: None)
+        spec = _with_engine(CATALOG[name](), engine)
+        fast = _run_with_toggles(spec, True)
+        slow = _run_with_toggles(spec, False)
+        assert fast.metrics == slow.metrics
+        if slow.report is not None:
+            assert fast.report == slow.report
+
+    def test_defaults_are_incremental(self):
+        assert OverlayNode.incremental_cards is True
+        assert OverlaySimulator.incremental_refresh is True
+
+
+class TestRefreshSkip:
+    """Unchanged receivers must not pay a summary rebuild per refresh."""
+
+    def _simulator(self, engine):
+        spec = _with_engine(
+            # Random/BF builds a receiver Bloom filter and never draws
+            # RNG at construction, so refresh skips are observable.
+            specs.random_overlay(
+                num_peers=8,
+                target=120,
+                seed=17,
+                initial_fraction_lo=0.2,
+                strategy_name="Random/BF",
+            ),
+            engine,
+        )
+        sim = build(spec).scenario.simulator
+        # The builder wires only source links; peer-to-peer connections
+        # normally form during the run.  Wire a ring of peer links and
+        # dirty every working set so the first refresh has work to do
+        # (connect() itself stamps strategies as current).
+        peers = [n for n in sim.nodes.values() if not n.is_source]
+        wired = sum(
+            sim.connect(s.node_id, r.node_id)
+            for s, r in zip(peers, peers[1:] + peers[:1])
+        )
+        assert wired >= 3
+        for i, node in enumerate(peers):
+            node.working_set.add(999_000_000 + i)
+        return sim
+
+    def _spy_on_blooms(self, monkeypatch):
+        calls = []
+        orig = WorkingSet.bloom_summary
+
+        def spy(ws, *args, **kwargs):
+            calls.append(ws)
+            return orig(ws, *args, **kwargs)
+
+        monkeypatch.setattr(WorkingSet, "bloom_summary", spy)
+        return calls
+
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    def test_unchanged_receivers_build_once(self, engine, monkeypatch):
+        sim = self._simulator(engine)
+        calls = self._spy_on_blooms(monkeypatch)
+        sim._refresh_strategies()
+        first = len(calls)
+        assert first > 0
+        # Nothing moved between the refreshes — every connection's
+        # endpoint stamps are current, so no filter is rebuilt.
+        sim._refresh_strategies()
+        sim._refresh_strategies()
+        assert len(calls) == first
+
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    def test_toggle_off_restores_rebuild_per_refresh(self, engine, monkeypatch):
+        sim = self._simulator(engine)
+        monkeypatch.setattr(OverlaySimulator, "incremental_refresh", False)
+        calls = self._spy_on_blooms(monkeypatch)
+        sim._refresh_strategies()
+        first = len(calls)
+        assert first > 0
+        sim._refresh_strategies()
+        assert len(calls) == 2 * first
+
+    @pytest.mark.parametrize("engine", ["reference", "columnar"])
+    def test_changed_receiver_rebuilds(self, engine, monkeypatch):
+        sim = self._simulator(engine)
+        calls = self._spy_on_blooms(monkeypatch)
+        sim._refresh_strategies()
+        first = len(calls)
+        # Mutate exactly one incomplete receiver's working set; only the
+        # connections feeding it should rebuild (one filter build for
+        # the columnar engine, one per inbound connection for the
+        # reference engine — both nonzero and both < the full sweep).
+        receiver = next(
+            conn.receiver
+            for conn in sim.connections.values()
+            if not conn.sender.is_source and not conn.receiver.is_complete
+        )
+        receiver.working_set.add(999_999_001)
+        sim._refresh_strategies()
+        rebuilt = len(calls) - first
+        # Mutating the node invalidates every connection it is an
+        # endpoint of.  The reference engine re-derives the receiver
+        # filter per rebuilt connection; the columnar engine serves
+        # version-unchanged receivers from its persistent cache, so only
+        # the mutated node's own filter is rebuilt.
+        affected = [
+            conn
+            for conn in sim.connections.values()
+            if not conn.sender.is_source
+            and not conn.receiver.is_complete
+            and (conn.receiver is receiver or conn.sender is receiver)
+        ]
+        assert affected
+        if sim.__class__.__name__.startswith("Columnar"):
+            assert rebuilt == 1
+        else:
+            assert rebuilt == len(affected)
+
+
+class TestSummaryCardCache:
+    """:meth:`OverlayNode.summary_card` cache-key and stamp semantics."""
+
+    def _node(self):
+        node = OverlayNode("n0", target=64)
+        node.working_set.update(range(40))
+        return node
+
+    def test_permuted_params_share_one_cache_row(self):
+        node = self._node()
+        a = node.summary_card("bloom", (("bits_per_element", 8), ("k_hashes", 4)))
+        b = node.summary_card("bloom", (("k_hashes", 4), ("bits_per_element", 8)))
+        assert a is b
+        bloom_rows = [k for k in node._cards if k[0] == "bloom"]
+        assert len(bloom_rows) == 1
+
+    def test_unchanged_version_returns_the_same_object(self):
+        node = self._node()
+        assert node.summary_card("minwise") is node.summary_card("minwise")
+
+    def test_absorb_path_matches_rebuild_path(self):
+        from repro.reconcile import build_summary
+
+        node = self._node()
+        stale = node.summary_card("bloom", (("bits_per_element", 8),))
+        node.working_set.update(range(40, 55))
+        fresh = node.summary_card("bloom", (("bits_per_element", 8),))
+        assert fresh is not stale
+        rebuilt = build_summary("bloom", node.working_set.ids, bits_per_element=8)
+        assert fresh.to_payload() == rebuilt.to_payload()
+
+    def test_toggle_off_rebuilds_to_the_same_payload(self, monkeypatch):
+        node = self._node()
+        node.summary_card("bloom", (("bits_per_element", 8),))
+        node.working_set.update(range(40, 55))
+        incremental = node.summary_card("bloom", (("bits_per_element", 8),))
+        node2 = self._node()
+        monkeypatch.setattr(OverlayNode, "incremental_cards", False)
+        node2.summary_card("bloom", (("bits_per_element", 8),))
+        node2.working_set.update(range(40, 55))
+        rebuilt = node2.summary_card("bloom", (("bits_per_element", 8),))
+        assert incremental.to_payload() == rebuilt.to_payload()
+
+    def test_removal_falls_back_to_rebuild(self):
+        from repro.reconcile import build_summary
+
+        node = self._node()
+        node.summary_card("bloom", (("bits_per_element", 8),))
+        node.working_set.discard(3)  # journal invalidated
+        card = node.summary_card("bloom", (("bits_per_element", 8),))
+        rebuilt = build_summary("bloom", node.working_set.ids, bits_per_element=8)
+        assert card.to_payload() == rebuilt.to_payload()
+
+    def test_minwise_card_folds_ids_like_sketch(self):
+        """The generic card and :meth:`sketch` publish identical minima
+        after an incremental update (both fold ids into the universe)."""
+        from repro.reconcile import build_summary
+
+        node = self._node()
+        node.summary_card("minwise", (("entries", 64),))
+        node.working_set.update(range(40, 70))
+        card = node.summary_card("minwise", (("entries", 64),))
+        rebuilt = build_summary(
+            "minwise",
+            (i % (1 << 32) for i in node.working_set.ids),
+            entries=64,
+        )
+        assert card.minima == rebuilt.minima

@@ -298,3 +298,108 @@ class TestKindSpecifics:
             s = ws.summary(kind, **params_for(kind))
             assert s.kind == kind
             assert s.set_size == len(a)
+
+
+INCREMENTAL_KINDS = [k for k in ALL_KINDS if summary_class(k).supports_incremental]
+REBUILD_ONLY_KINDS = [k for k in ALL_KINDS if not summary_class(k).supports_incremental]
+
+
+class TestIncrementalConformance:
+    """``absorb`` == from-scratch rebuild, payload for payload.
+
+    The contract the overlay's stamped summary-card caches rely on: a
+    card updated by absorbing the working set's add-journal must be
+    indistinguishable — on the wire — from one rebuilt over the whole
+    set, for every kind that declares ``supports_incremental``.
+    """
+
+    def test_registry_split_matches_the_hot_path_expectations(self):
+        assert set(INCREMENTAL_KINDS) >= {
+            "minwise",
+            "bloom",
+            "counting_bloom",
+            "hashset",
+        }
+        assert set(REBUILD_ONLY_KINDS) >= {
+            "modk",
+            "random_sample",
+            "partitioned_bloom",
+            "art",
+            "cpi",
+            "wholeset",
+        }
+
+    def test_capabilities_expose_the_incremental_flag(self):
+        for kind in ALL_KINDS:
+            cls = summary_class(kind)
+            assert cls.capabilities()["incremental"] == cls.supports_incremental
+
+    @pytest.mark.parametrize("trial", range(6))
+    @pytest.mark.parametrize("kind", INCREMENTAL_KINDS)
+    def test_absorb_matches_rebuild_over_random_add_sequences(self, kind, trial):
+        """Random base set, random overlapping deltas, derived seeds."""
+        rng = random.Random(f"incremental-{kind}-{trial}")
+        universe = 5000
+        base = set(rng.sample(range(universe), rng.randint(0, 120)))
+        summary = build_summary(kind, base, **params_for(kind))
+        current = set(base)
+        for _ in range(rng.randint(1, 4)):
+            # Deltas may overlap what is already summarised; absorb
+            # must ignore duplicates rather than double-count them.
+            delta = rng.sample(range(universe), rng.randint(0, 80))
+            summary = summary.absorb(delta)
+            current.update(delta)
+        extra = rng.randrange(universe)
+        summary = summary.add(extra)  # single-key sugar over absorb
+        current.add(extra)
+        rebuilt = build_summary(kind, current, **params_for(kind))
+        assert summary.to_payload() == rebuilt.to_payload()
+        assert summary.set_size == len(current)
+        assert summary.wire_bytes() == rebuilt.wire_bytes()
+
+    @pytest.mark.parametrize("kind", INCREMENTAL_KINDS)
+    def test_absorb_matches_rebuild_without_numpy(self, kind, monkeypatch):
+        """The scalar fallbacks produce the same payloads bit for bit."""
+        import repro.hashing.batch as batch
+
+        rng = random.Random(f"incremental-scalar-{kind}")
+        base = set(rng.sample(range(3000), 90))
+        delta = rng.sample(range(3000), 50)
+        monkeypatch.setattr(batch, "_numpy", lambda: None)
+        summary = build_summary(kind, base, **params_for(kind)).absorb(delta)
+        rebuilt = build_summary(kind, base | set(delta), **params_for(kind))
+        assert summary.to_payload() == rebuilt.to_payload()
+
+    @pytest.mark.parametrize("kind", INCREMENTAL_KINDS)
+    def test_absorb_never_mutates_the_receiver(self, kind, sets):
+        """Handed-out references (cached cards) must stay valid."""
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        before = s.to_payload()
+        s.absorb([4999, 4998])
+        assert s.to_payload() == before
+
+    @pytest.mark.parametrize("kind", INCREMENTAL_KINDS)
+    def test_absorbing_nothing_new_is_payload_stable(self, kind, sets):
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        again = s.absorb(list(a)[:10]).absorb(())
+        assert again.to_payload() == s.to_payload()
+
+    @pytest.mark.parametrize("kind", INCREMENTAL_KINDS)
+    def test_wire_reconstructions_refuse_absorb(self, kind, sets):
+        """A received card no longer knows its ids or build params."""
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        wire = summary_from_payload(json.loads(json.dumps(s.to_payload())))
+        with pytest.raises(SummaryError):
+            wire.absorb([1])
+
+    @pytest.mark.parametrize("kind", REBUILD_ONLY_KINDS)
+    def test_rebuild_only_kinds_refuse_absorb(self, kind, sets):
+        a, _ = sets
+        s = build_summary(kind, a, **params_for(kind))
+        with pytest.raises(SummaryError, match="incremental"):
+            s.absorb([1])
+        with pytest.raises(SummaryError, match="incremental"):
+            s.add(1)
